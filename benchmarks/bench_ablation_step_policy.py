@@ -1,0 +1,93 @@
+"""Ablation — time-step policy for the transient solvers.
+
+The paper's Sec. 4.2 argues the design space in words; this benchmark
+measures it on one case:
+
+* direct + fixed 10 ps steps  (one factorization, many steps);
+* direct + variable steps     (few steps, but a refactorization per
+  step-size change — the configuration the paper rules out);
+* sparsifier-PCG + variable steps (the paper's solver).
+
+Expected shape: direct-varied pays a factorization per distinct step
+size and loses to direct-fixed; the PCG solver wins overall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.powergrid import (
+    build_sparsifier_preconditioner,
+    make_pg_case,
+    simulate_transient_direct,
+    simulate_transient_pcg,
+)
+from repro.powergrid.transient import simulate_transient_direct_varied
+from repro.utils.reporting import Table
+
+from conftest import emit, run_once
+
+T_END = 5e-9
+_rows: dict = {}
+_cache: list = []
+
+
+def _netlist(scale):
+    if not _cache:
+        _cache.append(make_pg_case("ibmpg3t", scale=scale, seed=0)[0])
+    return _cache[0]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    yield
+    if not _rows:
+        return
+    table = Table(["policy", "steps", "refactorizations", "Ttr_seconds"])
+    for key in ("direct-fixed", "direct-varied", "pcg-varied"):
+        if key in _rows:
+            row = _rows[key]
+            table.add_row([key, row["steps"], row["refactor"], row["Ttr"]])
+    emit("ablation_step_policy", table.render())
+
+
+def test_direct_fixed(benchmark, scale):
+    netlist = _netlist(scale)
+    result = run_once(
+        benchmark,
+        lambda: simulate_transient_direct(netlist, t_end=T_END, step=10e-12),
+    )
+    _rows["direct-fixed"] = {
+        "steps": result.steps,
+        "refactor": 1,
+        "Ttr": result.transient_seconds,
+    }
+
+
+def test_direct_varied(benchmark, scale):
+    netlist = _netlist(scale)
+    result = run_once(
+        benchmark,
+        lambda: simulate_transient_direct_varied(netlist, t_end=T_END),
+    )
+    _rows["direct-varied"] = {
+        "steps": result.steps,
+        "refactor": result.extra["refactorizations"],
+        "Ttr": result.transient_seconds,
+    }
+
+
+def test_pcg_varied(benchmark, scale):
+    netlist = _netlist(scale)
+    factor, _, _ = build_sparsifier_preconditioner(
+        netlist, method="proposed", edge_fraction=0.10, seed=1
+    )
+    result = run_once(
+        benchmark,
+        lambda: simulate_transient_pcg(netlist, factor, t_end=T_END),
+    )
+    _rows["pcg-varied"] = {
+        "steps": result.steps,
+        "refactor": 0,
+        "Ttr": result.transient_seconds,
+    }

@@ -1,0 +1,87 @@
+"""Figure 2 — sparsity/runtime trade-off for PG transient analysis.
+
+Regenerates the paper's Fig. 2: transient runtime of the GRASS-based
+and proposed iterative solvers on "ibmpg4t" as the proportion of
+recovered off-tree edges sweeps 0.05 -> 0.20 of |V|.
+
+Paper shape: runtime falls with more recovered edges (fewer PCG
+iterations) with diminishing returns past ~10% |V|, and the proposed
+curve sits below GRASS's, with the gap growing as edges are added.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.powergrid import (
+    build_sparsifier_preconditioner,
+    make_pg_case,
+    simulate_transient_pcg,
+)
+from repro.utils.reporting import Table
+
+from conftest import emit, run_once
+
+FRACTIONS = [0.05, 0.10, 0.15, 0.20]
+T_END = 5e-9
+
+_rows: dict = {}
+_netlist_cache: list = []
+
+
+def _netlist(scale):
+    if not _netlist_cache:
+        _netlist_cache.append(make_pg_case("ibmpg4t", scale=scale, seed=0)[0])
+    return _netlist_cache[0]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    yield
+    if not _rows:
+        return
+    table = Table(
+        ["fraction", "Ttr_grass", "Na_grass", "Ttr_proposed", "Na_proposed"]
+    )
+    for fraction in FRACTIONS:
+        row = _rows.get(fraction, {})
+        if "grass" not in row or "proposed" not in row:
+            continue
+        table.add_row(
+            [fraction,
+             row["grass"]["Ttr"], f"{row['grass']['Na']:.1f}",
+             row["proposed"]["Ttr"], f"{row['proposed']['Na']:.1f}"]
+        )
+    emit("fig2_sparsity_tradeoff", table.render())
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("method", ["grass", "proposed"])
+def test_tradeoff_point(benchmark, fraction, method, scale):
+    netlist = _netlist(scale)
+    factor, _, _ = build_sparsifier_preconditioner(
+        netlist, method=method, edge_fraction=fraction, seed=1
+    )
+    result = run_once(
+        benchmark,
+        lambda: simulate_transient_pcg(netlist, factor, t_end=T_END),
+    )
+    _rows.setdefault(fraction, {})[method] = {
+        "Ttr": result.transient_seconds,
+        "Na": result.avg_iterations,
+    }
+    if method == "proposed":
+        row = _rows[fraction]
+        if "grass" in row:
+            # Proposed preconditioner should not need more iterations.
+            assert row["proposed"]["Na"] <= row["grass"]["Na"] * 1.15
+
+
+def test_iterations_fall_with_density():
+    """More recovered edges -> fewer PCG iterations (Fig. 2's driver)."""
+    counts = [
+        _rows[f]["proposed"]["Na"] for f in FRACTIONS if f in _rows
+        and "proposed" in _rows[f]
+    ]
+    if len(counts) == len(FRACTIONS):
+        assert counts[-1] <= counts[0]

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the package's hot kernels.
+
+Unlike the table benchmarks (one-shot pipeline timings), these use
+pytest-benchmark's statistical repetition to characterize the building
+blocks: Cholesky factorization, SPAI construction, the two criticality
+kernels, batch LCA, and a preconditioned PCG solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import approximate_trace_reduction, tree_truncated_trace_reduction
+from repro.graph import make_case, regularization_shift, regularized_laplacian
+from repro.linalg import cholesky, pcg, sparse_approximate_inverse
+from repro.tree import RootedForest, batch_tree_resistances, mewst
+
+
+@pytest.fixture(scope="module")
+def setting(scale):
+    graph, _ = make_case("ecology2", scale=scale * 0.4, seed=0)
+    shift = regularization_shift(graph)
+    laplacian_g = regularized_laplacian(graph, shift, fmt="csr")
+    tree_ids = mewst(graph)
+    forest = RootedForest(graph, tree_ids)
+    tree = graph.subgraph(tree_ids)
+    laplacian_t = regularized_laplacian(tree, shift)
+    factor = cholesky(laplacian_t)
+    off = np.flatnonzero(~forest.tree_edge_mask())
+    return graph, laplacian_g, forest, tree, laplacian_t, factor, off
+
+
+def test_cholesky_superlu(benchmark, setting):
+    _, _, _, _, laplacian_t, _, _ = setting
+    benchmark(lambda: cholesky(laplacian_t, backend="superlu"))
+
+
+def test_spai_default_delta(benchmark, setting):
+    _, _, _, _, _, factor, _ = setting
+    benchmark(lambda: sparse_approximate_inverse(factor.L, delta=0.1))
+
+
+def test_tree_phase_criticality(benchmark, setting):
+    graph, _, forest, _, _, _, off = setting
+    subset = off[: min(len(off), 2000)]
+    benchmark(
+        lambda: tree_truncated_trace_reduction(
+            graph, forest, edge_ids=subset, beta=5
+        )
+    )
+
+
+def test_approximate_criticality(benchmark, setting):
+    graph, _, _, tree, _, factor, off = setting
+    Z = sparse_approximate_inverse(factor.L, delta=0.1)
+    subset = off[: min(len(off), 2000)]
+    benchmark(
+        lambda: approximate_trace_reduction(
+            graph, tree, factor, Z, subset, beta=5
+        )
+    )
+
+
+def test_batch_lca_resistances(benchmark, setting):
+    graph, _, forest, _, _, _, off = setting
+    benchmark(
+        lambda: batch_tree_resistances(forest, graph.u[off], graph.v[off])
+    )
+
+
+def test_pcg_tree_preconditioned(benchmark, setting):
+    graph, laplacian_g, _, _, _, factor, _ = setting
+    rng = np.random.default_rng(0)
+    rhs = rng.standard_normal(graph.n)
+    result = benchmark(
+        lambda: pcg(laplacian_g, rhs, M_solve=factor.solve, rtol=1e-3)
+    )
+    assert result.converged

@@ -1,0 +1,46 @@
+"""Shared benchmark infrastructure.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+Tables are printed to stdout (visible with ``pytest -s``) and always
+written to ``benchmarks/results/<name>.txt`` so that a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the regenerated
+artifacts on disk.
+
+Case sizes follow the registries in :mod:`repro.graph.suitesparse_like`
+and :mod:`repro.powergrid.benchmarks`; scale them with the
+``REPRO_SCALE`` environment variable (default 1.0 ~ 3-16k nodes per
+case, a laptop-friendly shrink of the paper's 0.5-9M).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Global case-size multiplier (REPRO_SCALE)."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def run_once(benchmark, target):
+    """Benchmark *target* with exactly one timed execution.
+
+    The table benchmarks run full sparsification pipelines; repeating
+    them for statistics would multiply the suite's runtime for no
+    insight, so each is timed once (pytest-benchmark pedantic mode).
+    """
+    return benchmark.pedantic(target, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Power-grid transient analysis: direct vs sparsifier-PCG solver.
+
+Reproduces the paper's Sec. 4.2 workflow on a synthetic IBM-style power
+grid (VDD + GND planes, pulse current loads, 1-10 pF node caps):
+
+1. direct solver — factor (G + C/h) once at a fixed 10 ps step;
+2. iterative solver — variable steps up to 200 ps, PCG preconditioned
+   by the factored trace-reduction sparsifier built at DC.
+
+Prints the Table-2-style comparison and writes the waveform of one VDD
+node and one GND node (the paper's Fig. 1) to pg_waveforms.csv.
+
+Run:  python examples/power_grid_transient.py
+"""
+
+import numpy as np
+
+from repro.powergrid import (
+    build_sparsifier_preconditioner,
+    make_pg_case,
+    simulate_transient_direct,
+    simulate_transient_pcg,
+)
+from repro.powergrid.transient import max_probe_difference
+
+
+def main() -> None:
+    netlist, spec = make_pg_case("ibmpg4t", scale=0.5, seed=0)
+    half = netlist.n // 2
+    vdd_probe = next(l.node for l in netlist.loads if l.node < half)
+    gnd_probe = next(l.node for l in netlist.loads if l.node >= half)
+    probes = [vdd_probe, gnd_probe]
+    print(
+        f"case {spec.name}: {netlist.n} nodes, "
+        f"{len(netlist.loads)} loads, {len(netlist.pad_nodes())} pads"
+    )
+
+    direct = simulate_transient_direct(
+        netlist, t_end=5e-9, step=10e-12, probes=probes
+    )
+    print(
+        f"direct:    {direct.steps} steps, "
+        f"T_tr = {direct.transient_seconds:.2f} s, "
+        f"mem = {direct.memory_bytes / 1e6:.1f} MB"
+    )
+
+    factor, sparsify_seconds, _ = build_sparsifier_preconditioner(
+        netlist, method="proposed", edge_fraction=0.10, seed=1
+    )
+    iterative = simulate_transient_pcg(
+        netlist, factor, t_end=5e-9, probes=probes
+    )
+    print(
+        f"iterative: {iterative.steps} steps, "
+        f"T_tr = {iterative.transient_seconds:.2f} s "
+        f"(+ {sparsify_seconds:.2f} s sparsification), "
+        f"avg PCG iters = {iterative.avg_iterations:.1f}, "
+        f"mem = {iterative.memory_bytes / 1e6:.1f} MB"
+    )
+
+    for label, node in (("VDD", vdd_probe), ("GND", gnd_probe)):
+        diff = max_probe_difference(direct, iterative, node)
+        wave = direct.probe(node)
+        print(
+            f"{label} node {node}: V in [{wave.min():.4f}, {wave.max():.4f}] V, "
+            f"direct-vs-iterative deviation {diff * 1e3:.2f} mV "
+            f"(paper bound: < 16 mV)"
+        )
+
+    grid = direct.times
+    rows = np.column_stack(
+        [
+            grid,
+            direct.probe(vdd_probe),
+            np.interp(grid, iterative.times, iterative.probe(vdd_probe)),
+            direct.probe(gnd_probe),
+            np.interp(grid, iterative.times, iterative.probe(gnd_probe)),
+        ]
+    )
+    np.savetxt(
+        "pg_waveforms.csv",
+        rows,
+        delimiter=",",
+        header="time_s,vdd_direct,vdd_iterative,gnd_direct,gnd_iterative",
+        comments="",
+    )
+    print("waveforms written to pg_waveforms.csv (Fig. 1 data)")
+
+
+if __name__ == "__main__":
+    main()

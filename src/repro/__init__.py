@@ -1,0 +1,104 @@
+"""repro — graph spectral sparsification via approximate trace reduction.
+
+A from-scratch Python reproduction of Liu & Yu, *Pursuing More Effective
+Graph Spectral Sparsifiers via Approximate Trace Reduction* (DAC 2022),
+including the GRASS/feGRASS baselines, a sparse Cholesky + SPAI + PCG
+stack, a power-grid transient simulator and a spectral-partitioning
+pipeline.
+
+Quick start::
+
+    from repro import grid2d, trace_reduction_sparsify, evaluate_sparsifier
+
+    graph = grid2d(100, 100, seed=0)
+    result = trace_reduction_sparsify(graph, edge_fraction=0.10, rounds=5)
+    report = evaluate_sparsifier(graph, result.sparsifier)
+    print(report.kappa, report.pcg_iterations)
+"""
+
+from repro.graph import (
+    Graph,
+    laplacian,
+    regularization_shift,
+    regularized_laplacian,
+    grid2d,
+    grid3d,
+    triangular_mesh,
+    random_geometric_graph,
+    circuit_grid,
+    make_case,
+    read_graph_mtx,
+    write_graph_mtx,
+)
+from repro.tree import (
+    mewst,
+    maximum_spanning_forest,
+    bfs_spanning_forest,
+    RootedForest,
+    batch_tree_resistances,
+)
+from repro.linalg import (
+    cholesky,
+    CholeskyFactor,
+    sparse_approximate_inverse,
+    pcg,
+    PCGResult,
+    relative_condition_number,
+)
+from repro.core import (
+    trace_reduction_sparsify,
+    SparsifierConfig,
+    SparsifierResult,
+    grass_sparsify,
+    GrassConfig,
+    fegrass_sparsify,
+    exact_trace_reduction,
+    approximate_trace_reduction,
+    tree_truncated_trace_reduction,
+    trace_ratio,
+    evaluate_sparsifier,
+    pcg_performance,
+    QualityReport,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Graph",
+    "laplacian",
+    "regularization_shift",
+    "regularized_laplacian",
+    "grid2d",
+    "grid3d",
+    "triangular_mesh",
+    "random_geometric_graph",
+    "circuit_grid",
+    "make_case",
+    "read_graph_mtx",
+    "write_graph_mtx",
+    "mewst",
+    "maximum_spanning_forest",
+    "bfs_spanning_forest",
+    "RootedForest",
+    "batch_tree_resistances",
+    "cholesky",
+    "CholeskyFactor",
+    "sparse_approximate_inverse",
+    "pcg",
+    "PCGResult",
+    "relative_condition_number",
+    "trace_reduction_sparsify",
+    "SparsifierConfig",
+    "SparsifierResult",
+    "grass_sparsify",
+    "GrassConfig",
+    "fegrass_sparsify",
+    "exact_trace_reduction",
+    "approximate_trace_reduction",
+    "tree_truncated_trace_reduction",
+    "trace_ratio",
+    "evaluate_sparsifier",
+    "pcg_performance",
+    "QualityReport",
+    "__version__",
+]

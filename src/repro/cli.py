@@ -1,0 +1,224 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples
+--------
+List the available cases::
+
+    python -m repro.cli cases
+
+Sparsify a named case (or a Matrix Market file) and report quality::
+
+    python -m repro.cli sparsify --case ecology2 --fraction 0.10
+    python -m repro.cli sparsify --mtx my_matrix.mtx --method grass
+
+Power-grid transient comparison (Table 2, one case)::
+
+    python -m repro.cli transient --case ibmpg3t --scale 0.25
+
+Spectral partitioning comparison (Table 3, one case)::
+
+    python -m repro.cli partition --case tmt_sym --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import (
+    er_sample_sparsify,
+    evaluate_sparsifier,
+    fegrass_sparsify,
+    grass_sparsify,
+    trace_reduction_sparsify,
+)
+from repro.graph import CASE_REGISTRY, make_case, read_graph_mtx
+from repro.graph.laplacian import regularization_shift, regularized_laplacian
+from repro.linalg import cholesky
+from repro.partitioning import (
+    fiedler_vector,
+    partition_relative_error,
+    spectral_bipartition,
+)
+from repro.powergrid import (
+    PG_CASE_REGISTRY,
+    build_sparsifier_preconditioner,
+    make_pg_case,
+    simulate_transient_direct,
+    simulate_transient_pcg,
+)
+from repro.powergrid.transient import max_probe_difference
+from repro.utils.reporting import Table, format_bytes
+
+_SPARSIFIERS = {
+    "proposed": lambda g, fraction, rounds, seed: trace_reduction_sparsify(
+        g, edge_fraction=fraction, rounds=rounds, seed=seed
+    ),
+    "grass": lambda g, fraction, rounds, seed: grass_sparsify(
+        g, edge_fraction=fraction, rounds=rounds, seed=seed
+    ),
+    "fegrass": lambda g, fraction, rounds, seed: fegrass_sparsify(
+        g, edge_fraction=fraction, seed=seed
+    ),
+    "er_sampling": lambda g, fraction, rounds, seed: er_sample_sparsify(
+        g, edge_fraction=fraction, seed=seed
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph spectral sparsification (DAC'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("cases", help="list registered graph and PG cases")
+
+    sparsify = sub.add_parser("sparsify", help="sparsify a graph")
+    source = sparsify.add_mutually_exclusive_group(required=True)
+    source.add_argument("--case", choices=sorted(CASE_REGISTRY))
+    source.add_argument("--mtx", help="Matrix Market file to load")
+    sparsify.add_argument("--method", choices=sorted(_SPARSIFIERS),
+                          default="proposed")
+    sparsify.add_argument("--fraction", type=float, default=0.10)
+    sparsify.add_argument("--rounds", type=int, default=5)
+    sparsify.add_argument("--scale", type=float, default=None)
+    sparsify.add_argument("--seed", type=int, default=0)
+
+    transient = sub.add_parser("transient", help="PG transient comparison")
+    transient.add_argument("--case", choices=sorted(PG_CASE_REGISTRY),
+                           default="ibmpg3t")
+    transient.add_argument("--scale", type=float, default=None)
+    transient.add_argument("--t-end", type=float, default=5e-9)
+    transient.add_argument("--fraction", type=float, default=0.10)
+    transient.add_argument("--seed", type=int, default=0)
+
+    partition = sub.add_parser("partition", help="Fiedler comparison")
+    partition.add_argument("--case", choices=sorted(CASE_REGISTRY),
+                           default="ecology2")
+    partition.add_argument("--scale", type=float, default=None)
+    partition.add_argument("--steps", type=int, default=5)
+    partition.add_argument("--fraction", type=float, default=0.10)
+    partition.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_cases(_args) -> int:
+    table = Table(["name", "kind", "paper |V|", "default |V|", "detail"])
+    for spec in CASE_REGISTRY.values():
+        table.add_row(
+            [spec.name, spec.family, f"{spec.paper_nodes:.1E}",
+             spec.base_nodes, spec.detail]
+        )
+    for spec in PG_CASE_REGISTRY.values():
+        table.add_row(
+            [spec.name, "powergrid", f"{spec.paper_nodes:.1E}",
+             spec.base_nodes, spec.detail]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_sparsify(args) -> int:
+    if args.case:
+        graph, spec = make_case(args.case, scale=args.scale, seed=args.seed)
+        label = spec.name
+    else:
+        graph, _ = read_graph_mtx(args.mtx)
+        label = args.mtx
+    print(f"{label}: {graph.n} nodes, {graph.edge_count} edges")
+    result = _SPARSIFIERS[args.method](
+        graph, args.fraction, args.rounds, args.seed
+    )
+    quality = evaluate_sparsifier(graph, result.sparsifier)
+    table = Table(["metric", "value"])
+    table.add_row(["method", args.method])
+    table.add_row(["sparsifier edges", quality.sparsifier_edges])
+    table.add_row(["kappa(L_G, L_P)", quality.kappa])
+    table.add_row(["PCG iterations (rtol 1e-3)", quality.pcg_iterations])
+    table.add_row(["sparsify seconds", result.setup_seconds])
+    table.add_row(["factor nnz", quality.factor_nnz])
+    print(table.render())
+    return 0
+
+
+def _cmd_transient(args) -> int:
+    netlist, spec = make_pg_case(args.case, scale=args.scale, seed=args.seed)
+    probe = netlist.loads[0].node
+    print(f"{spec.name}: {netlist.n} nodes, {len(netlist.loads)} loads")
+    direct = simulate_transient_direct(
+        netlist, t_end=args.t_end, step=10e-12, probes=[probe]
+    )
+    factor, sparsify_seconds, _ = build_sparsifier_preconditioner(
+        netlist, method="proposed", edge_fraction=args.fraction,
+        seed=args.seed,
+    )
+    iterative = simulate_transient_pcg(
+        netlist, factor, t_end=args.t_end, probes=[probe]
+    )
+    deviation = max_probe_difference(direct, iterative, probe)
+    table = Table(["solver", "steps", "Ttr_s", "avg_iters", "memory"])
+    table.add_row(
+        ["direct (10 ps)", direct.steps, direct.transient_seconds, "-",
+         format_bytes(direct.memory_bytes)]
+    )
+    table.add_row(
+        ["pcg (<=200 ps)", iterative.steps, iterative.transient_seconds,
+         f"{iterative.avg_iterations:.1f}",
+         format_bytes(iterative.memory_bytes)]
+    )
+    print(table.render())
+    print(f"sparsification: {sparsify_seconds:.2f} s; "
+          f"waveform deviation {deviation * 1e3:.2f} mV (< 16 mV expected)")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    graph, spec = make_case(args.case, scale=args.scale, seed=args.seed)
+    print(f"{spec.name}: {graph.n} nodes, {graph.edge_count} edges")
+    direct = fiedler_vector(graph, method="direct", steps=args.steps,
+                            seed=args.seed)
+    sparsifier = trace_reduction_sparsify(
+        graph, edge_fraction=args.fraction, rounds=5, seed=args.seed
+    )
+    shift = regularization_shift(graph)
+    factor = cholesky(regularized_laplacian(sparsifier.sparsifier, shift))
+    iterative = fiedler_vector(
+        graph, method="pcg", preconditioner=factor, steps=args.steps,
+        seed=args.seed,
+    )
+    err = partition_relative_error(
+        spectral_bipartition(direct.vector),
+        spectral_bipartition(iterative.vector),
+    )
+    table = Table(["solver", "seconds", "avg_iters", "memory", "RelErr"])
+    table.add_row(
+        ["direct", direct.seconds, "-", format_bytes(direct.memory_bytes), "-"]
+    )
+    table.add_row(
+        ["pcg", iterative.seconds, f"{iterative.avg_iterations:.1f}",
+         format_bytes(iterative.memory_bytes), f"{err:.2E}"]
+    )
+    print(table.render())
+    return 0
+
+
+_COMMANDS = {
+    "cases": _cmd_cases,
+    "sparsify": _cmd_sparsify,
+    "transient": _cmd_transient,
+    "partition": _cmd_partition,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

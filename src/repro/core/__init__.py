@@ -1,0 +1,67 @@
+"""The paper's core contribution: trace-reduction spectral sparsification.
+
+Public surface:
+
+* criticality metrics: :func:`exact_trace_reduction`,
+  :func:`tree_truncated_trace_reduction`,
+  :func:`approximate_trace_reduction`;
+* the full Algorithm 2 driver :func:`trace_reduction_sparsify`;
+* baselines :func:`grass_sparsify` (GRASS [8]) and
+  :func:`fegrass_sparsify` (feGRASS [13]);
+* quality metrics: :func:`evaluate_sparsifier`, :func:`pcg_performance`.
+"""
+
+from repro.core.resistance import effective_resistance, effective_resistances
+from repro.core.trace import (
+    trace_ratio_exact,
+    trace_ratio_hutchinson,
+    trace_ratio,
+)
+from repro.core.trace_reduction import (
+    exact_trace_reduction,
+    exact_trace_reduction_batch,
+    truncated_trace_reduction_reference,
+    approximate_trace_reduction,
+)
+from repro.core.tree_phase import tree_truncated_trace_reduction
+from repro.core.similarity import SimilarityMarker
+from repro.core.sparsifier import (
+    SparsifierConfig,
+    SparsifierResult,
+    trace_reduction_sparsify,
+)
+from repro.core.grass import GrassConfig, grass_sparsify, perturbation_criticality
+from repro.core.fegrass import fegrass_sparsify
+from repro.core.er_sampling import (
+    approximate_effective_resistances,
+    er_sample_sparsify,
+)
+from repro.core.trace_tracker import TraceTracker
+from repro.core.metrics import QualityReport, evaluate_sparsifier, pcg_performance
+
+__all__ = [
+    "effective_resistance",
+    "effective_resistances",
+    "trace_ratio_exact",
+    "trace_ratio_hutchinson",
+    "trace_ratio",
+    "exact_trace_reduction",
+    "exact_trace_reduction_batch",
+    "truncated_trace_reduction_reference",
+    "approximate_trace_reduction",
+    "tree_truncated_trace_reduction",
+    "SimilarityMarker",
+    "SparsifierConfig",
+    "SparsifierResult",
+    "trace_reduction_sparsify",
+    "GrassConfig",
+    "grass_sparsify",
+    "perturbation_criticality",
+    "fegrass_sparsify",
+    "approximate_effective_resistances",
+    "er_sample_sparsify",
+    "TraceTracker",
+    "QualityReport",
+    "evaluate_sparsifier",
+    "pcg_performance",
+]

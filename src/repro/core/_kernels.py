@@ -1,0 +1,93 @@
+"""Vectorized micro-kernels shared by the criticality computations.
+
+Both the tree phase (Eq. 15) and the general phase (Eq. 20) end with the
+same restricted Laplacian quadratic form: given per-node values ``s``
+(voltages or SPAI inner products), sum ``w_ij (s_i - s_j)^2`` over the
+original graph's edges joining the two BFS balls.  These helpers keep
+that per-candidate work in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["concat_ranges", "ball_pair_edge_sum"]
+
+
+def concat_ranges(starts, lengths):
+    """Concatenate integer ranges ``[starts[k], starts[k]+lengths[k])``.
+
+    Equivalent to ``np.concatenate([np.arange(s, s+l) ...])`` but built
+    from two cumsums, with no per-range Python overhead.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    nonzero = lengths > 0
+    if not np.all(nonzero):
+        starts = starts[nonzero]
+        lengths = lengths[nonzero]
+    if len(starts) == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(lengths)
+    out = np.ones(cum[-1], dtype=np.int64)
+    out[0] = starts[0]
+    if len(starts) > 1:
+        out[cum[:-1]] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    return np.cumsum(out)
+
+
+def ball_pair_edge_sum(
+    indptr,
+    neighbors,
+    edge_ids,
+    weights,
+    nodes_p,
+    in_q_stamp,
+    clock,
+    values,
+):
+    """``sum w_e (values[i] - values[j])^2`` over ball-to-ball edges.
+
+    Edges of the original graph with one endpoint in ``nodes_p`` (the
+    ball around p) and the other stamped as belonging to the ball
+    around q.  Each undirected edge is counted once even when both
+    orientations qualify.
+
+    Parameters
+    ----------
+    indptr, neighbors, edge_ids:
+        CSR adjacency of the *original* graph.
+    weights:
+        Edge weight array of the original graph.
+    nodes_p:
+        Ball around the first endpoint.
+    in_q_stamp, clock:
+        Stamp array marking the second ball: node ``x`` is in the ball
+        iff ``in_q_stamp[x] == clock``.
+    values:
+        Dense per-node value array (voltages / inner products); only
+        entries of ball nodes are read.
+
+    Returns
+    -------
+    float
+        The restricted quadratic form.
+    """
+    starts = indptr[nodes_p]
+    lengths = indptr[nodes_p + 1] - starts
+    flat = concat_ranges(starts, lengths)
+    if len(flat) == 0:
+        return 0.0
+    nbrs = neighbors[flat]
+    eids = edge_ids[flat]
+    sources = np.repeat(nodes_p, lengths)
+    mask = in_q_stamp[nbrs] == clock
+    if not np.any(mask):
+        return 0.0
+    eids = eids[mask]
+    nbrs = nbrs[mask]
+    sources = sources[mask]
+    # Dedupe: when both orientations qualify the edge appears twice.
+    unique_eids, first = np.unique(eids, return_index=True)
+    diffs = values[sources[first]] - values[nbrs[first]]
+    return float(np.sum(weights[unique_eids] * diffs * diffs))

@@ -1,0 +1,134 @@
+"""Tree-phase truncated trace reduction (Eqs. 13-15).
+
+When the current subgraph is a spanning tree ``T``, no linear solves are
+needed at all: the paper's physical model injects a unit current at
+``p`` and extracts it at ``q``; the current flows only along the unique
+tree path, so node potentials are piecewise constant off the path and
+drop by ``1/w_e`` across each path edge.  Concretely:
+
+* ``R_T(p, q)`` comes from Tarjan's offline LCA over all queries;
+* the potential of every node in the beta-ball around ``p`` (resp.
+  ``q``) is propagated by BFS: crossing a path edge changes the
+  potential by ``-1/w`` (resp. ``+1/w``), any other tree edge keeps it
+  (Eqs. 13-14);
+* the truncated numerator is the usual restricted quadratic form over
+  original-graph edges joining the two balls (Eq. 15).
+
+The "is this tree edge on path(p, q)?" test uses Euler-tour subtree
+intervals, making it O(1) per edge with no per-candidate path walks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core._kernels import ball_pair_edge_sum
+from repro.graph.bfs import BallFinder
+from repro.graph.graph import Graph
+from repro.tree.lca import batch_tree_resistances
+from repro.tree.rooted import RootedForest
+
+__all__ = ["tree_truncated_trace_reduction"]
+
+
+def tree_truncated_trace_reduction(
+    graph: Graph, forest: RootedForest, edge_ids=None, beta: int = 5
+):
+    """Truncated trace reduction for off-tree edges (Eq. 15).
+
+    Parameters
+    ----------
+    graph:
+        The original graph ``G``.
+    forest:
+        Rooted spanning forest ``T`` (the initial subgraph).
+    edge_ids:
+        Candidate off-tree edge ids; defaults to every non-tree edge.
+    beta:
+        BFS truncation depth (paper default 5).
+
+    Returns
+    -------
+    (criticality, edge_ids, resistances)
+        Arrays aligned with each other: the truncated trace reduction,
+        the candidate ids, and the tree effective resistances.
+    """
+    if edge_ids is None:
+        mask = forest.tree_edge_mask()
+        edge_ids = np.flatnonzero(~mask)
+    edge_ids = np.asarray(edge_ids, dtype=np.int64)
+    if len(edge_ids) == 0:
+        return np.empty(0), edge_ids, np.empty(0)
+
+    heads = graph.u[edge_ids]
+    tails = graph.v[edge_ids]
+    resistances, _ = batch_tree_resistances(forest, heads, tails)
+    tin, tout = forest.euler_intervals()
+    depth = forest.depth
+
+    tree_indptr, tree_nbr, tree_local_eid = forest.tree.adjacency()
+    tree_global_eid = forest.edge_ids[tree_local_eid]
+    finder = BallFinder(tree_indptr, tree_nbr, edge_ids=tree_global_eid)
+    g_indptr, g_nbr, g_eid = graph.adjacency()
+
+    n = graph.n
+    weights = graph.w
+    v_dense = np.zeros(n)
+    in_q_stamp = np.zeros(n, dtype=np.int64)
+    out = np.empty(len(edge_ids))
+
+    for k in range(len(edge_ids)):
+        p = int(heads[k])
+        q = int(tails[k])
+        w_pq = float(weights[edge_ids[k]])
+        r_pq = float(resistances[k])
+        clock = k + 1
+
+        nodes_p, preds_p, eids_p = finder.ball(p, beta)
+        nodes_q, preds_q, eids_q = finder.ball(q, beta)
+        in_q_stamp[nodes_q] = clock
+
+        # Potential propagation, Eq. (13): v(p) = R_T(p, q), descending
+        # by 1/w across path edges when walking away from p toward q.
+        v_dense[p] = r_pq
+        _propagate(
+            nodes_p, preds_p, eids_p, v_dense, weights, depth, tin, tout,
+            p, q, -1.0,
+        )
+        # Eq. (14): v(q) = 0, ascending across path edges toward p.
+        v_dense[q] = 0.0
+        _propagate(
+            nodes_q, preds_q, eids_q, v_dense, weights, depth, tin, tout,
+            p, q, +1.0,
+        )
+
+        numerator = ball_pair_edge_sum(
+            g_indptr, g_nbr, g_eid, weights, nodes_p, in_q_stamp, clock,
+            v_dense,
+        )
+        out[k] = w_pq * numerator / (1.0 + w_pq * r_pq)
+    return out, edge_ids, resistances
+
+
+def _propagate(nodes, preds, eids, v_dense, weights, depth, tin, tout, p, q, sign):
+    """Propagate potentials over one BFS ball (Eqs. 13-14).
+
+    ``nodes[0]`` is the source whose potential the caller has already
+    set; every other node copies its BFS predecessor's potential,
+    adjusted by ``sign / w`` when the connecting tree edge lies on the
+    p-q path.  The on-path test: the edge (parent, child) is on the path
+    iff exactly one of p, q lies in child's subtree (Euler intervals).
+    """
+    tin_p, tin_q = tin[p], tin[q]
+    for idx in range(1, len(nodes)):
+        node = int(nodes[idx])
+        pred = int(preds[idx])
+        value = v_dense[pred]
+        # The deeper endpoint of the tree edge is the subtree root.
+        child = node if depth[node] > depth[pred] else pred
+        lo, hi = tin[child], tout[child]
+        in_p = lo <= tin_p < hi
+        in_q = lo <= tin_q < hi
+        if in_p != in_q:
+            value += sign / weights[eids[idx]]
+        v_dense[node] = value

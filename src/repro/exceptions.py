@@ -1,0 +1,25 @@
+"""Exception types used across the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs (bad edges, negative weights, ...)."""
+
+
+class NotATreeError(ReproError):
+    """Raised when an operation requires a tree/forest but got cycles."""
+
+
+class FactorizationError(ReproError):
+    """Raised when a matrix factorization fails (not SPD, singular, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative method fails to reach its tolerance."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistent power-grid netlists or simulation setups."""

@@ -1,0 +1,44 @@
+"""Graph substrate: data structure, Laplacians, BFS, generators, I/O."""
+
+from repro.graph.graph import Graph
+from repro.graph.laplacian import (
+    laplacian,
+    incidence_matrix,
+    regularization_shift,
+    regularized_laplacian,
+    graph_from_sdd_matrix,
+)
+from repro.graph.bfs import BallFinder, bfs_tree_order
+from repro.graph.components import connected_components, is_connected
+from repro.graph.generators import (
+    grid2d,
+    grid3d,
+    triangular_mesh,
+    random_geometric_graph,
+    circuit_grid,
+)
+from repro.graph.suitesparse_like import make_case, CASE_REGISTRY, CaseSpec
+from repro.graph.mtx_io import read_graph_mtx, write_graph_mtx
+
+__all__ = [
+    "Graph",
+    "laplacian",
+    "incidence_matrix",
+    "regularization_shift",
+    "regularized_laplacian",
+    "graph_from_sdd_matrix",
+    "BallFinder",
+    "bfs_tree_order",
+    "connected_components",
+    "is_connected",
+    "grid2d",
+    "grid3d",
+    "triangular_mesh",
+    "random_geometric_graph",
+    "circuit_grid",
+    "make_case",
+    "CASE_REGISTRY",
+    "CaseSpec",
+    "read_graph_mtx",
+    "write_graph_mtx",
+]

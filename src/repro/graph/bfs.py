@@ -1,0 +1,117 @@
+"""Breadth-first-search kernels.
+
+The truncated trace reduction (Eqs. 12, 15, 20 of the paper) needs a
+``beta``-layer BFS ball around each endpoint of every candidate edge.
+Because this runs once per off-subgraph edge, the :class:`BallFinder`
+keeps reusable "stamp" work arrays so a ball query allocates nothing of
+size ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BallFinder", "bfs_tree_order"]
+
+
+class BallFinder:
+    """Repeated beta-layer BFS ball queries over a fixed adjacency.
+
+    Parameters
+    ----------
+    indptr, neighbors:
+        CSR adjacency of the graph to traverse (typically the *current
+        subgraph* in Algorithm 2, or the spanning tree in the tree phase).
+    edge_ids:
+        Optional array parallel to *neighbors* giving the id of the edge
+        connecting each (node, neighbor) pair; when provided, ball
+        queries also report the predecessor edge of every visited node.
+    """
+
+    def __init__(self, indptr, neighbors, edge_ids=None) -> None:
+        self.indptr = indptr
+        self.neighbors = neighbors
+        self.edge_ids = edge_ids
+        n = len(indptr) - 1
+        self._stamp = np.zeros(n, dtype=np.int64)
+        self._clock = 0
+
+    def ball(self, source: int, layers: int):
+        """Nodes within *layers* hops of *source*.
+
+        Returns
+        -------
+        nodes : numpy.ndarray
+            Visited nodes in BFS order (``source`` first).
+        pred : numpy.ndarray
+            ``pred[k]`` is the BFS predecessor (a node id) of
+            ``nodes[k]``, ``-1`` for the source.  Each predecessor
+            appears in ``nodes`` before its successors, which the
+            tree-phase voltage propagation (Eqs. 13-14) relies on.
+        pred_eid : numpy.ndarray or None
+            Ids of the predecessor edges (``-1`` for the source) when
+            the finder was built with ``edge_ids``, else ``None``.
+        """
+        self._clock += 1
+        clock = self._clock
+        stamp = self._stamp
+        indptr = self.indptr
+        neighbors = self.neighbors
+        edge_ids = self.edge_ids
+        stamp[source] = clock
+        visited = [int(source)]
+        preds = [-1]
+        pred_eids = [-1]
+        frontier = [int(source)]
+        for _ in range(layers):
+            if not frontier:
+                break
+            next_frontier = []
+            for node in frontier:
+                start, stop = indptr[node], indptr[node + 1]
+                for k in range(start, stop):
+                    nbr = int(neighbors[k])
+                    if stamp[nbr] != clock:
+                        stamp[nbr] = clock
+                        visited.append(nbr)
+                        preds.append(node)
+                        if edge_ids is not None:
+                            pred_eids.append(int(edge_ids[k]))
+                        next_frontier.append(nbr)
+            frontier = next_frontier
+        nodes = np.asarray(visited, dtype=np.int64)
+        pred = np.asarray(preds, dtype=np.int64)
+        if edge_ids is None:
+            return nodes, pred, None
+        return nodes, pred, np.asarray(pred_eids, dtype=np.int64)
+
+
+def bfs_tree_order(indptr, neighbors, roots, n=None):
+    """Full BFS over a graph from the given roots.
+
+    Returns ``(order, pred)`` where *order* lists every reachable node in
+    BFS order and ``pred`` maps each node to its BFS predecessor (``-1``
+    for roots, ``-2`` for unreachable nodes).  Used to root spanning
+    forests and for component sweeps.
+    """
+    if n is None:
+        n = len(indptr) - 1
+    pred = np.full(n, -2, dtype=np.int64)  # -2 == unvisited
+    order = []
+    for root in np.atleast_1d(np.asarray(roots, dtype=np.int64)):
+        root = int(root)
+        if pred[root] != -2:
+            continue
+        pred[root] = -1
+        queue = [root]
+        head = 0
+        while head < len(queue):
+            node = queue[head]
+            head += 1
+            order.append(node)
+            for nbr in neighbors[indptr[node] : indptr[node + 1]]:
+                nbr = int(nbr)
+                if pred[nbr] == -2:
+                    pred[nbr] = node
+                    queue.append(nbr)
+    return np.asarray(order, dtype=np.int64), pred

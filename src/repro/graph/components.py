@@ -1,0 +1,57 @@
+"""Connected-component utilities (forest-aware algorithms need these)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["connected_components", "is_connected", "component_roots"]
+
+
+def connected_components(graph: Graph):
+    """Label connected components.
+
+    Returns
+    -------
+    count : int
+        Number of components.
+    labels : numpy.ndarray
+        ``labels[i]`` is the 0-based component id of node ``i``; ids are
+        assigned in order of each component's smallest node.
+    """
+    indptr, nbr, _ = graph.adjacency()
+    labels = np.full(graph.n, -1, dtype=np.int64)
+    count = 0
+    for start in range(graph.n):
+        if labels[start] != -1:
+            continue
+        labels[start] = count
+        queue = [start]
+        head = 0
+        while head < len(queue):
+            node = queue[head]
+            head += 1
+            for neighbor in nbr[indptr[node] : indptr[node + 1]]:
+                neighbor = int(neighbor)
+                if labels[neighbor] == -1:
+                    labels[neighbor] = count
+                    queue.append(neighbor)
+        count += 1
+    return count, labels
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has a single connected component."""
+    count, _ = connected_components(graph)
+    return count == 1
+
+
+def component_roots(labels: np.ndarray) -> np.ndarray:
+    """Smallest node id of each component (roots for forest rooting)."""
+    count = int(labels.max()) + 1 if len(labels) else 0
+    roots = np.full(count, -1, dtype=np.int64)
+    for node, label in enumerate(labels):
+        if roots[label] == -1:
+            roots[label] = node
+    return roots

@@ -1,0 +1,248 @@
+"""Synthetic graph generators.
+
+These produce the topology classes the paper's test suite draws from:
+2-D finite-difference grids (ecology2, tmt_sym, ...), 2-D finite-element
+triangulations (thermal2 and the aerodynamic meshes NACA0015/M6/...),
+and multi-layer circuit-style grids (G3_circuit).  All generators take a
+``seed`` and a ``weights`` model so experiments are reproducible.
+
+Weight models
+-------------
+``"unit"``
+    All weights 1.0.
+``"uniform"``
+    Log-uniform in ``[w_min, w_max]`` (independent per edge) — mimics
+    conductance spread in circuit matrices.
+``"smooth"``
+    A smooth random field evaluated at edge midpoints — mimics FEM
+    coefficient fields, where nearby elements have similar weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "grid2d",
+    "grid3d",
+    "triangular_mesh",
+    "random_geometric_graph",
+    "circuit_grid",
+    "edge_weights",
+]
+
+
+def edge_weights(kind, midpoints, rng, w_min=0.1, w_max=10.0):
+    """Sample edge weights for the given model (see module docstring)."""
+    count = len(midpoints)
+    if kind == "unit":
+        return np.ones(count)
+    if kind == "uniform":
+        log_lo, log_hi = np.log(w_min), np.log(w_max)
+        return np.exp(rng.uniform(log_lo, log_hi, size=count))
+    if kind == "smooth":
+        # Random low-frequency Fourier field, rescaled to [w_min, w_max].
+        midpoints = np.asarray(midpoints, dtype=np.float64)
+        if midpoints.ndim == 1:
+            midpoints = midpoints[:, None]
+        dims = midpoints.shape[1]
+        field = np.zeros(count)
+        for _ in range(6):
+            freq = rng.uniform(0.5, 3.0, size=dims)
+            phase = rng.uniform(0, 2 * np.pi)
+            amp = rng.uniform(0.5, 1.0)
+            field += amp * np.sin(2 * np.pi * midpoints @ freq + phase)
+        span = field.max() - field.min()
+        if span == 0:
+            return np.full(count, np.sqrt(w_min * w_max))
+        unit = (field - field.min()) / span
+        return np.exp(np.log(w_min) + unit * (np.log(w_max) - np.log(w_min)))
+    raise GraphError(f"unknown weight model {kind!r}")
+
+
+def _grid_coords_2d(nx, ny):
+    xs, ys = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.float64)
+    coords[:, 0] /= max(nx - 1, 1)
+    coords[:, 1] /= max(ny - 1, 1)
+    return coords
+
+
+def grid2d(nx, ny, weights="uniform", diagonals=False, seed=0,
+           w_min=0.1, w_max=10.0):
+    """2-D grid graph on an ``nx x ny`` lattice (5- or 7-point stencil).
+
+    With ``diagonals=True`` one diagonal per cell is added, producing a
+    triangular-lattice stencil with ``m ~ 3n`` like ``parabolic_fem`` /
+    ``tmt_sym``; without it ``m ~ 2n`` like ``ecology2``.
+    ``w_min``/``w_max`` bound the weight spread (constant-coefficient
+    FEM matrices call for a narrow band, circuit matrices a wide one).
+    """
+    if nx < 1 or ny < 1:
+        raise GraphError("grid2d needs nx, ny >= 1")
+    rng = as_rng(seed)
+
+    def node(i, j):
+        return i * ny + j
+
+    xs, ys = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    idx = (xs * ny + ys).astype(np.int64)
+    edges_u, edges_v = [], []
+    # horizontal (i, j) - (i+1, j)
+    edges_u.append(idx[:-1, :].ravel())
+    edges_v.append(idx[1:, :].ravel())
+    # vertical (i, j) - (i, j+1)
+    edges_u.append(idx[:, :-1].ravel())
+    edges_v.append(idx[:, 1:].ravel())
+    if diagonals:
+        edges_u.append(idx[:-1, :-1].ravel())
+        edges_v.append(idx[1:, 1:].ravel())
+    u = np.concatenate(edges_u)
+    v = np.concatenate(edges_v)
+    coords = _grid_coords_2d(nx, ny)
+    mid = 0.5 * (coords[u] + coords[v])
+    w = edge_weights(weights, mid, rng, w_min=w_min, w_max=w_max)
+    return Graph(nx * ny, u, v, w, validate=False)
+
+
+def grid3d(nx, ny, nz, weights="uniform", seed=0):
+    """3-D grid graph (7-point stencil)."""
+    if min(nx, ny, nz) < 1:
+        raise GraphError("grid3d needs nx, ny, nz >= 1")
+    rng = as_rng(seed)
+    shape = (nx, ny, nz)
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(shape)
+    edges_u, edges_v = [], []
+    edges_u.append(idx[:-1, :, :].ravel())
+    edges_v.append(idx[1:, :, :].ravel())
+    edges_u.append(idx[:, :-1, :].ravel())
+    edges_v.append(idx[:, 1:, :].ravel())
+    edges_u.append(idx[:, :, :-1].ravel())
+    edges_v.append(idx[:, :, 1:].ravel())
+    u = np.concatenate(edges_u)
+    v = np.concatenate(edges_v)
+    # Normalized midpoints for the smooth model.
+    coords = np.stack(np.unravel_index(np.arange(nx * ny * nz), shape), axis=1)
+    coords = coords / np.maximum(np.array(shape) - 1, 1)
+    mid = 0.5 * (coords[u] + coords[v])
+    w = edge_weights(weights, mid, rng)
+    return Graph(nx * ny * nz, u, v, w, validate=False)
+
+
+_MESH_SHAPES = ("square", "disk", "annulus", "airfoil", "wing", "lshape")
+
+
+def _shape_mask(points, shape):
+    x, y = points[:, 0], points[:, 1]
+    if shape == "square":
+        return np.ones(len(points), dtype=bool)
+    if shape == "disk":
+        return (x - 0.5) ** 2 + (y - 0.5) ** 2 <= 0.25
+    if shape == "annulus":
+        r2 = (x - 0.5) ** 2 + (y - 0.5) ** 2
+        return (r2 <= 0.25) & (r2 >= 0.04)
+    if shape == "airfoil":
+        # Rectangle with an elongated elliptical hole (airfoil stand-in).
+        hole = ((x - 0.5) / 0.25) ** 2 + ((y - 0.5) / 0.05) ** 2 <= 1.0
+        return ~hole
+    if shape == "wing":
+        # Tapered planform: |y - 0.5| below a linearly shrinking chord.
+        return np.abs(y - 0.5) <= 0.45 * (1.0 - 0.7 * x)
+    if shape == "lshape":
+        return ~((x > 0.5) & (y > 0.5))
+    raise GraphError(f"unknown mesh shape {shape!r}; choose from {_MESH_SHAPES}")
+
+
+def triangular_mesh(n_points, shape="square", weights="smooth", seed=0):
+    """Delaunay triangulation of a random point cloud in a 2-D shape.
+
+    Stand-in for the paper's finite-element meshes; the Delaunay
+    triangulation of ``n`` points has ``~3n`` edges and average degree
+    ``~6``, matching the aerodynamic SuiteSparse cases.
+    """
+    from scipy.spatial import Delaunay
+
+    if n_points < 4:
+        raise GraphError("triangular_mesh needs at least 4 points")
+    rng = as_rng(seed)
+    points = np.empty((0, 2))
+    # Rejection-sample until enough points fall inside the shape.
+    while len(points) < n_points:
+        batch = rng.random((2 * n_points, 2))
+        keep = batch[_shape_mask(batch, shape)]
+        points = np.vstack([points, keep])
+    points = points[:n_points]
+    tri = Delaunay(points)
+    simplices = tri.simplices
+    pairs = np.vstack(
+        [simplices[:, [0, 1]], simplices[:, [1, 2]], simplices[:, [0, 2]]]
+    )
+    pairs.sort(axis=1)
+    pairs = np.unique(pairs, axis=0)
+    u, v = pairs[:, 0].astype(np.int64), pairs[:, 1].astype(np.int64)
+    mid = 0.5 * (points[u] + points[v])
+    base = edge_weights(weights, mid, rng)
+    # FEM stiffness scales like inverse edge length; fold that in so the
+    # weight spread resembles assembled FEM matrices.
+    lengths = np.linalg.norm(points[u] - points[v], axis=1)
+    lengths = np.maximum(lengths, 1e-12)
+    w = base * (lengths.mean() / lengths)
+    return Graph(len(points), u, v, w, validate=False)
+
+
+def random_geometric_graph(n, radius=None, weights="uniform", seed=0):
+    """Random geometric graph on the unit square (KD-tree neighbor pairs).
+
+    Falls back to a connectivity-safe radius ``~ sqrt(2 log n / n)`` when
+    *radius* is omitted.
+    """
+    from scipy.spatial import cKDTree
+
+    rng = as_rng(seed)
+    if radius is None:
+        radius = float(np.sqrt(2.0 * np.log(max(n, 2)) / max(n, 2)))
+    points = rng.random((n, 2))
+    tree = cKDTree(points)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray")
+    if len(pairs) == 0:
+        raise GraphError("random_geometric_graph produced no edges; grow radius")
+    u, v = pairs[:, 0].astype(np.int64), pairs[:, 1].astype(np.int64)
+    mid = 0.5 * (points[u] + points[v])
+    w = edge_weights(weights, mid, rng)
+    return Graph(n, u, v, w, validate=False)
+
+
+def circuit_grid(nx, ny, layers=2, via_density=0.05, weights="uniform", seed=0):
+    """Multi-layer circuit-style grid (G3_circuit stand-in).
+
+    *layers* stacked 2-D grids connected by randomly placed vias; vias get
+    higher conductance than in-plane wires, as in real power/clock grids.
+    """
+    if layers < 1:
+        raise GraphError("circuit_grid needs layers >= 1")
+    rng = as_rng(seed)
+    per_layer = nx * ny
+    all_u, all_v, all_w = [], [], []
+    for layer in range(layers):
+        g = grid2d(nx, ny, weights=weights, seed=rng.integers(0, 2**31))
+        all_u.append(g.u + layer * per_layer)
+        all_v.append(g.v + layer * per_layer)
+        all_w.append(g.w)
+    for layer in range(layers - 1):
+        count = max(1, int(via_density * per_layer))
+        vias = rng.choice(per_layer, size=count, replace=False)
+        all_u.append(vias + layer * per_layer)
+        all_v.append(vias + (layer + 1) * per_layer)
+        # Vias: an order of magnitude more conductive than plane wires.
+        all_w.append(np.exp(rng.uniform(np.log(5.0), np.log(50.0), count)))
+    return Graph(
+        layers * per_layer,
+        np.concatenate(all_u),
+        np.concatenate(all_v),
+        np.concatenate(all_w),
+        validate=False,
+    )

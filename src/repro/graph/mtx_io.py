@@ -1,0 +1,69 @@
+"""Matrix Market I/O.
+
+Lets users run the benchmark harness on the *real* SuiteSparse matrices
+(ecology2.mtx etc.) when they have them on disk, instead of the
+synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.io
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.graph.laplacian import graph_from_sdd_matrix, laplacian
+
+__all__ = ["read_graph_mtx", "write_graph_mtx"]
+
+
+def read_graph_mtx(path, mode="auto"):
+    """Read a Matrix Market file as a graph.
+
+    Parameters
+    ----------
+    path:
+        ``.mtx`` file path.
+    mode:
+        ``"laplacian"``: the matrix is SDD with nonpositive off-diagonals
+        (edge weight = negated off-diagonal).
+        ``"adjacency"``: the matrix stores nonnegative edge weights.
+        ``"auto"`` (default): Laplacian if all off-diagonals are <= 0,
+        otherwise adjacency with absolute values.
+
+    Returns
+    -------
+    (Graph, numpy.ndarray or None)
+        The graph, and the diagonal excess vector for Laplacian input
+        (``None`` in adjacency mode).
+    """
+    matrix = sp.coo_matrix(scipy.io.mmread(str(path)))
+    if matrix.shape[0] != matrix.shape[1]:
+        raise GraphError(f"{path}: matrix is not square: {matrix.shape}")
+    off = matrix.row != matrix.col
+    if mode == "auto":
+        mode = "laplacian" if np.all(matrix.data[off] <= 0) else "adjacency"
+    if mode == "laplacian":
+        graph, excess = graph_from_sdd_matrix(matrix)
+        return graph, excess
+    if mode == "adjacency":
+        rows, cols = matrix.row[off], matrix.col[off]
+        vals = np.abs(matrix.data[off])
+        upper = rows < cols
+        graph = Graph(matrix.shape[0], rows[upper], cols[upper], vals[upper])
+        return graph, None
+    raise GraphError(f"unknown mode {mode!r}")
+
+
+def write_graph_mtx(path, graph, as_laplacian=True) -> None:
+    """Write a graph to a Matrix Market file.
+
+    Writes the (singular) Laplacian by default, or the symmetric
+    adjacency when ``as_laplacian`` is false.
+    """
+    if as_laplacian:
+        matrix = laplacian(graph, fmt="coo")
+    else:
+        matrix = graph.to_scipy_adjacency().tocoo()
+    scipy.io.mmwrite(str(path), matrix, symmetry="symmetric")

@@ -1,0 +1,125 @@
+"""Elimination tree and symbolic row-pattern machinery.
+
+Classic CSparse-style symbolic analysis used by the pure-Python
+up-looking Cholesky factorization:
+
+* :func:`elimination_tree` — parent pointers of the etree of ``A``;
+* :func:`ereach` — nonzero pattern of one row of the Cholesky factor,
+  in topological (descendants-first) order;
+* :func:`postorder` — a postordering of the etree.
+
+References: T. Davis, *Direct Methods for Sparse Linear Systems*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import check_square_sparse
+
+__all__ = ["elimination_tree", "ereach", "postorder"]
+
+
+def _upper_csc(matrix) -> sp.csc_matrix:
+    """Upper triangle (including diagonal) in CSC with sorted indices."""
+    upper = sp.triu(sp.csc_matrix(matrix), k=0, format="csc")
+    upper.sort_indices()
+    return upper
+
+
+def elimination_tree(matrix) -> np.ndarray:
+    """Parent array of the elimination tree (``-1`` marks roots).
+
+    ``parent[i]`` is the smallest ``k > i`` such that ``L[k, i] != 0``
+    in the Cholesky factor of the (pattern-symmetric) matrix.
+    """
+    check_square_sparse("matrix", matrix)
+    upper = _upper_csc(matrix)
+    n = upper.shape[0]
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    indptr, indices = upper.indptr, upper.indices
+    for k in range(n):
+        for idx in range(indptr[k], indptr[k + 1]):
+            i = int(indices[idx])
+            # Walk from i up the partially built tree toward k, applying
+            # path compression through the `ancestor` shortcut array.
+            while i != -1 and i < k:
+                next_ancestor = int(ancestor[i])
+                ancestor[i] = k
+                if next_ancestor == -1:
+                    parent[i] = k
+                i = next_ancestor
+    return parent
+
+
+def ereach(upper, k, parent, marker, stamp):
+    """Row pattern of ``L[k, :k]`` in topological order.
+
+    Parameters
+    ----------
+    upper:
+        Upper triangle of the matrix in CSC (sorted indices).
+    k:
+        Row index being computed.
+    parent:
+        Elimination tree parents from :func:`elimination_tree`.
+    marker:
+        Length-``n`` int work array (callers reuse it across rows).
+    stamp:
+        Unique stamp value for this call (e.g. ``k`` itself when rows
+        are processed in order).
+
+    Returns
+    -------
+    list of int
+        Column indices ``j < k`` with ``L[k, j] != 0``, ordered so that
+        every etree descendant appears before its ancestors (the order
+        the up-looking triangular solve consumes).
+    """
+    marker[k] = stamp
+    result: list = []
+    indptr, indices = upper.indptr, upper.indices
+    for idx in range(indptr[k], indptr[k + 1]):
+        i = int(indices[idx])
+        if i >= k:
+            continue
+        path = []
+        while marker[i] != stamp:
+            path.append(i)
+            marker[i] = stamp
+            i = int(parent[i])
+        # `path` runs leaf -> ancestor (already topological within the
+        # path); later-discovered paths are prepended, matching CSparse:
+        # their nodes are descendants of nodes already in `result`.
+        result = path + result
+    return result
+
+
+def postorder(parent: np.ndarray) -> np.ndarray:
+    """Postorder the forest given by *parent* pointers."""
+    n = len(parent)
+    children: list = [[] for _ in range(n)]
+    roots = []
+    for node in range(n):
+        par = int(parent[node])
+        if par == -1:
+            roots.append(node)
+        else:
+            children[par].append(node)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    for root in roots:
+        stack = [(root, 0)]
+        while stack:
+            node, child_index = stack.pop()
+            if child_index < len(children[node]):
+                stack.append((node, child_index + 1))
+                stack.append((children[node][child_index], 0))
+            else:
+                order[pos] = node
+                pos += 1
+    if pos != n:
+        raise ValueError("parent array does not describe a forest")
+    return order

@@ -1,0 +1,16 @@
+"""Spectral graph partitioning substrate (paper Sec. 4.3)."""
+
+from repro.partitioning.fiedler import FiedlerResult, fiedler_vector
+from repro.partitioning.spectral import (
+    spectral_bipartition,
+    partition_relative_error,
+    cut_weight,
+)
+
+__all__ = [
+    "FiedlerResult",
+    "fiedler_vector",
+    "spectral_bipartition",
+    "partition_relative_error",
+    "cut_weight",
+]

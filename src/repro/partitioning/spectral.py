@@ -1,0 +1,42 @@
+"""Spectral bipartitioning from a Fiedler vector."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["spectral_bipartition", "partition_relative_error", "cut_weight"]
+
+
+def spectral_bipartition(fiedler: np.ndarray, balanced: bool = True):
+    """0/1 labels from the Fiedler vector.
+
+    With ``balanced=True`` the split is at the median (equal halves,
+    the classic spectral-partitioning recipe [17]); otherwise at zero.
+    """
+    fiedler = np.asarray(fiedler)
+    threshold = np.median(fiedler) if balanced else 0.0
+    return (fiedler > threshold).astype(np.int8)
+
+
+def partition_relative_error(labels_a, labels_b) -> float:
+    """Fraction of nodes assigned differently (Table 3's RelErr).
+
+    Invariant to a global label swap (a partition and its complement
+    are the same partition).
+    """
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ValueError("label arrays must have the same shape")
+    direct = float(np.mean(labels_a != labels_b))
+    swapped = float(np.mean(labels_a != (1 - labels_b)))
+    return min(direct, swapped)
+
+
+def cut_weight(graph: Graph, labels) -> float:
+    """Total weight of edges crossing the partition."""
+    labels = np.asarray(labels)
+    crossing = labels[graph.u] != labels[graph.v]
+    return float(graph.w[crossing].sum())

@@ -1,0 +1,168 @@
+"""Synthetic power-grid benchmark generator.
+
+Stand-ins for the IBM [14] and THU [18] power-grid benchmarks used in
+the paper's Table 2 (ibmpg3t...thupg2t), which are not redistributable
+here (DESIGN.md, substitution 2).  Each case contains a VDD plane and a
+GND plane (two grid components, as in real PG netlists — Fig. 1 of the
+paper plots one node from each), with:
+
+* wire conductances drawn log-uniformly (sheet-resistance spread);
+* pads on a coarse regular lattice, Norton-modeled;
+* decoupling/load capacitances 1-10 pF per node (the paper's range);
+* periodic pulse current loads at random cells, with all waveform
+  corners snapped to a 10 ps grid so a fixed-step direct method with
+  h = 10 ps hits every breakpoint exactly (the constraint the paper
+  describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.generators import grid2d
+from repro.graph.graph import Graph
+from repro.graph.suitesparse_like import scaled_size
+from repro.powergrid.netlist import CurrentLoad, PowerGridNetlist
+from repro.powergrid.waveforms import PulsePattern
+from repro.utils.rng import as_rng
+
+__all__ = ["PGCaseSpec", "PG_CASE_REGISTRY", "make_pg_case", "build_pg_plane"]
+
+_PS = 1e-12
+_PF = 1e-12
+
+
+@dataclass(frozen=True)
+class PGCaseSpec:
+    """Metadata for one synthetic PG case."""
+
+    name: str
+    paper_nodes: float
+    base_nodes: int       # reproduction size at scale 1.0 (both planes)
+    load_density: float   # fraction of nodes carrying a current load
+    detail: str
+
+
+PG_CASE_REGISTRY = {
+    "ibmpg3t": PGCaseSpec("ibmpg3t", 8.5e5, 3200, 0.05, "IBM-like, medium"),
+    "ibmpg4t": PGCaseSpec("ibmpg4t", 9.5e5, 4050, 0.05, "IBM-like, medium"),
+    "ibmpg5t": PGCaseSpec("ibmpg5t", 1.1e6, 5000, 0.04, "IBM-like, large"),
+    "ibmpg6t": PGCaseSpec("ibmpg6t", 1.7e6, 6050, 0.04, "IBM-like, large"),
+    "thupg1t": PGCaseSpec("thupg1t", 5.0e6, 8450, 0.03, "THU-like, XL"),
+    "thupg2t": PGCaseSpec("thupg2t", 9.0e6, 10952, 0.03, "THU-like, XXL"),
+}
+
+
+def build_pg_plane(
+    side,
+    rail_voltage,
+    rng,
+    pad_pitch=8,
+    load_density=0.05,
+    load_sign=-1.0,
+    waveform_groups=4,
+):
+    """One power plane: grid graph + pads + caps + loads.
+
+    Returns ``(graph, capacitance, pad_g, rail, loads)`` with node ids
+    local to the plane.
+    """
+    graph = grid2d(side, side, weights="uniform", seed=rng.integers(0, 2**31))
+    n = graph.n
+    # Wire conductances: rescale the generator's spread into 0.5..20 S
+    # (wire resistances of 50 mOhm .. 2 Ohm).
+    w = graph.w
+    w = 0.5 + (w - w.min()) / max(w.max() - w.min(), 1e-30) * 19.5
+    graph = graph.reweighted(w)
+
+    capacitance = rng.uniform(1.0, 10.0, size=n) * _PF
+
+    pad_g = np.zeros(n)
+    for i in range(0, side, pad_pitch):
+        for j in range(0, side, pad_pitch):
+            pad_g[i * side + j] = rng.uniform(50.0, 200.0)
+
+    rail = np.full(n, rail_voltage)
+
+    # Loads share a handful of waveform templates (clock domains): cells
+    # switch in synchronized groups, so the breakpoint union stays small
+    # and variable-step integration can actually take large steps — the
+    # regime the paper's iterative solver exploits.  All corners snap to
+    # the 10 ps grid so a fixed h = 10 ps hits every breakpoint.
+    templates = []
+    for _ in range(waveform_groups):
+        rise = 10 * _PS * int(rng.integers(2, 11))       # 20-100 ps
+        fall = 10 * _PS * int(rng.integers(2, 11))
+        width = 10 * _PS * int(rng.integers(5, 40))      # 50-390 ps
+        delay = 10 * _PS * int(rng.integers(0, 50))
+        period = 10 * _PS * int(rng.integers(100, 250))  # 1.0-2.5 ns
+        period = max(period, rise + width + fall + 10 * _PS)
+        templates.append((delay, rise, width, fall, period))
+
+    loads = []
+    count = max(1, int(load_density * n))
+    nodes = rng.choice(n, size=count, replace=False)
+    for node in nodes:
+        delay, rise, width, fall, period = templates[
+            int(rng.integers(0, len(templates)))
+        ]
+        pattern = PulsePattern(
+            amplitude=float(rng.uniform(5e-3, 5e-2)),
+            delay=delay,
+            rise=rise,
+            width=width,
+            fall=fall,
+            period=period,
+        )
+        loads.append(CurrentLoad(int(node), pattern, sign=load_sign))
+    return graph, capacitance, pad_g, rail, loads
+
+
+def make_pg_case(name: str, scale=None, seed: int = 0):
+    """Build the named PG case; returns ``(PowerGridNetlist, PGCaseSpec)``.
+
+    The netlist contains two disconnected planes: VDD (1.8 V) on node
+    ids ``[0, n/2)`` and GND (0 V) on ``[n/2, n)``.
+    """
+    if name not in PG_CASE_REGISTRY:
+        raise KeyError(
+            f"unknown PG case {name!r}; available: {sorted(PG_CASE_REGISTRY)}"
+        )
+    spec = PG_CASE_REGISTRY[name]
+    total = scaled_size(spec.base_nodes, scale)
+    side = max(4, int(round(np.sqrt(total / 2))))
+    rng = as_rng(seed + (hash(name) % 1000))
+
+    vdd = build_pg_plane(
+        side, 1.8, rng, load_density=spec.load_density, load_sign=-1.0
+    )
+    gnd = build_pg_plane(
+        side, 0.0, rng, load_density=spec.load_density, load_sign=+1.0
+    )
+
+    per_plane = side * side
+    graph = Graph(
+        2 * per_plane,
+        np.concatenate([vdd[0].u, gnd[0].u + per_plane]),
+        np.concatenate([vdd[0].v, gnd[0].v + per_plane]),
+        np.concatenate([vdd[0].w, gnd[0].w]),
+        validate=False,
+    )
+    capacitance = np.concatenate([vdd[1], gnd[1]])
+    pad_g = np.concatenate([vdd[2], gnd[2]])
+    rail = np.concatenate([vdd[3], gnd[3]])
+    loads = list(vdd[4]) + [
+        CurrentLoad(load.node + per_plane, load.pattern, load.sign)
+        for load in gnd[4]
+    ]
+    netlist = PowerGridNetlist(
+        graph=graph,
+        capacitance=capacitance,
+        pad_conductance=pad_g,
+        rail_voltage=rail,
+        loads=loads,
+        name=name,
+    )
+    return netlist, spec

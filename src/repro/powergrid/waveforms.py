@@ -1,0 +1,99 @@
+r"""Periodic pulse current waveforms.
+
+The paper drives transient analysis with "periodic pulse currents ...
+generated at each current source" and derives the iterative solver's
+variable time steps from the waveform *breakpoints* (corners of the
+piecewise-linear pulses).  :class:`PulsePattern` models a standard
+trapezoidal pulse train:
+
+::
+
+      amp ___________
+         /|          |\
+        / |          | \
+    ___/  |          |  \__________ ... (repeats with `period`)
+      delay rise  width fall
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = ["PulsePattern", "breakpoints_union"]
+
+
+@dataclass(frozen=True)
+class PulsePattern:
+    """Periodic trapezoidal pulse (times in seconds, amplitude in amps)."""
+
+    amplitude: float
+    delay: float
+    rise: float
+    width: float
+    fall: float
+    period: float
+
+    def __post_init__(self):
+        if min(self.rise, self.fall) <= 0:
+            raise SimulationError("rise/fall must be positive")
+        if self.width < 0 or self.delay < 0:
+            raise SimulationError("width/delay must be nonnegative")
+        if self.period < self.rise + self.width + self.fall:
+            raise SimulationError("period shorter than one pulse")
+
+    def value(self, t: float) -> float:
+        """Waveform value at time *t* (vectorized over numpy arrays)."""
+        t = np.asarray(t, dtype=np.float64)
+        local = np.mod(t - self.delay, self.period)
+        local = np.where(t < self.delay, -1.0, local)  # before first pulse
+        up_end = self.rise
+        top_end = self.rise + self.width
+        down_end = self.rise + self.width + self.fall
+        result = np.where(
+            (local >= 0) & (local < up_end),
+            self.amplitude * local / self.rise,
+            0.0,
+        )
+        result = np.where(
+            (local >= up_end) & (local < top_end), self.amplitude, result
+        )
+        result = np.where(
+            (local >= top_end) & (local < down_end),
+            self.amplitude * (down_end - local) / self.fall,
+            result,
+        )
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def breakpoints(self, t_end: float) -> np.ndarray:
+        """All pulse corner times in ``(0, t_end]``."""
+        corners = np.array(
+            [
+                0.0,
+                self.rise,
+                self.rise + self.width,
+                self.rise + self.width + self.fall,
+            ]
+        )
+        points = []
+        start = self.delay
+        while start < t_end:
+            for corner in corners:
+                t = start + corner
+                if 0.0 < t <= t_end:
+                    points.append(t)
+            start += self.period
+        return np.asarray(sorted(set(points)))
+
+
+def breakpoints_union(patterns, t_end: float) -> np.ndarray:
+    """Sorted union of the breakpoints of many waveforms in ``(0, t_end]``."""
+    merged: set = {float(t_end)}
+    for pattern in patterns:
+        merged.update(pattern.breakpoints(t_end).tolist())
+    return np.asarray(sorted(merged))

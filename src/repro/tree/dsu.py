@@ -1,0 +1,50 @@
+"""Disjoint-set union (union-find) with path compression and union by rank.
+
+Used by Kruskal's spanning-forest construction and Tarjan's offline LCA
+(the paper cites Gabow & Tarjan [9] for the latter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DisjointSetUnion"]
+
+
+class DisjointSetUnion:
+    """Array-backed DSU over the integers ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.rank = np.zeros(n, dtype=np.int8)
+
+    def find(self, x: int) -> int:
+        """Representative of x's set (iterative, with path compression)."""
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of *x* and *y*; returns False if already merged."""
+        root_x, root_y = self.find(x), self.find(y)
+        if root_x == root_y:
+            return False
+        rank = self.rank
+        if rank[root_x] < rank[root_y]:
+            root_x, root_y = root_y, root_x
+        self.parent[root_y] = root_x
+        if rank[root_x] == rank[root_y]:
+            rank[root_x] += 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        """True when *x* and *y* are in the same set."""
+        return self.find(x) == self.find(y)
+
+    def component_count(self) -> int:
+        """Number of disjoint sets."""
+        return int(np.sum(self.parent == np.arange(len(self.parent))))

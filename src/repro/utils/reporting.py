@@ -1,0 +1,76 @@
+"""Plain-text table rendering for benchmark harnesses.
+
+The benchmark scripts print rows in the same layout as the paper's
+Tables 1-3; this module holds the shared formatting code.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Table", "format_seconds", "format_bytes", "format_count"]
+
+
+def format_seconds(value: float) -> str:
+    """Render a duration with sensible precision (``1.23`` / ``0.045``)."""
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def format_bytes(value: float) -> str:
+    """Render a byte count as ``12.3MB`` / ``1.2GB``."""
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0:
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}PB"
+
+
+def format_count(value: float) -> str:
+    """Render a large count as ``1.0E6``-style scientific shorthand."""
+    if value >= 1e5:
+        return f"{value:.1E}"
+    return str(int(value))
+
+
+class Table:
+    """Minimal monospace table builder.
+
+    >>> t = Table(["case", "kappa"])
+    >>> t.add_row(["grid", 12.5])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    case | kappa...
+    """
+
+    def __init__(self, columns: list) -> None:
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: list) -> None:
+        """Append a row; values are stringified (floats get 4 sig figs)."""
+        rendered = []
+        for value in values:
+            if isinstance(value, float):
+                rendered.append(f"{value:.4g}")
+            else:
+                rendered.append(str(value))
+        if len(rendered) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(rendered)}"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """Return the table as an aligned monospace string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)

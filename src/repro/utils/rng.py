@@ -1,0 +1,27 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic entry point in the package accepts either an integer
+seed, an existing :class:`numpy.random.Generator`, or ``None``.  This
+module normalizes all three into a ``Generator`` so that benchmarks and
+tests are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng"]
+
+
+def as_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh nondeterministic generator), an ``int`` seed, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,77 @@
+"""Tests for the Spielman-Srivastava effective-resistance baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    approximate_effective_resistances,
+    er_sample_sparsify,
+    evaluate_sparsifier,
+)
+from repro.core.resistance import effective_resistance
+from repro.graph import connected_components, grid2d, regularization_shift
+from repro.graph.laplacian import regularized_laplacian
+from repro.linalg import cholesky
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid2d(12, 12, seed=101)
+
+
+def test_jl_resistances_close_to_exact(grid):
+    approx = approximate_effective_resistances(grid, sketch_size=400, seed=0)
+    shift = regularization_shift(grid, 1e-6)
+    factor = cholesky(regularized_laplacian(grid, shift))
+    rng = np.random.default_rng(1)
+    picks = rng.choice(grid.edge_count, size=20, replace=False)
+    for edge in picks:
+        exact = effective_resistance(
+            factor.solve, int(grid.u[edge]), int(grid.v[edge]), grid.n
+        )
+        assert approx[edge] == pytest.approx(exact, rel=0.5)
+
+
+def test_jl_resistances_bounded_by_direct_edge(grid):
+    """R_eff(u,v) <= 1/w_uv for an existing edge (parallel paths help)."""
+    approx = approximate_effective_resistances(grid, sketch_size=600, seed=2)
+    assert (approx <= 1.3 / grid.w).all()
+
+
+def test_sparsifier_is_connected(grid):
+    result = er_sample_sparsify(grid, edge_fraction=0.10, seed=0)
+    count, _ = connected_components(result.sparsifier)
+    assert count == 1
+
+
+def test_budget_respected(grid):
+    result = er_sample_sparsify(grid, edge_fraction=0.10, seed=0)
+    budget = int(round(0.10 * grid.n))
+    assert len(result.recovered_edge_ids) == budget
+
+
+def test_deterministic(grid):
+    a = er_sample_sparsify(grid, edge_fraction=0.05, seed=5)
+    b = er_sample_sparsify(grid, edge_fraction=0.05, seed=5)
+    np.testing.assert_array_equal(a.edge_mask, b.edge_mask)
+
+
+def test_quality_beats_tree_alone(grid):
+    from repro.linalg import relative_condition_number
+
+    result = er_sample_sparsify(grid, edge_fraction=0.15, seed=1)
+    quality = evaluate_sparsifier(grid, result.sparsifier)
+    shift = regularization_shift(grid)
+    L_G = regularized_laplacian(grid, shift)
+    tree = grid.subgraph(result.tree_edge_ids)
+    L_T = regularized_laplacian(tree, shift)
+    kappa_tree = relative_condition_number(L_G, cholesky(L_T), L_T)
+    assert quality.kappa < kappa_tree
+
+
+def test_without_tree_backbone(grid):
+    result = er_sample_sparsify(
+        grid, edge_fraction=0.3, include_tree=False, seed=3
+    )
+    assert len(result.tree_edge_ids) == 0
+    assert result.edge_count == int(round(0.3 * grid.n))

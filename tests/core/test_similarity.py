@@ -1,0 +1,93 @@
+"""Tests for the similarity-exclusion marker."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimilarityMarker
+from repro.graph import Graph
+
+
+@pytest.fixture()
+def ladder():
+    """Ladder graph: two rails 0-1-2-3 and 4-5-6-7 plus rungs."""
+    edges = []
+    for k in range(3):
+        edges.append((k, k + 1, 1.0))
+        edges.append((k + 4, k + 5, 1.0))
+    for k in range(4):
+        edges.append((k, k + 4, 1.0))
+    return Graph.from_edges(8, edges)
+
+
+def test_requires_attach(ladder):
+    marker = SimilarityMarker(ladder, gamma=1)
+    with pytest.raises(RuntimeError):
+        marker.mark_similar(0, 4)
+
+
+def test_marks_parallel_edges(ladder):
+    """Marking rung (1,5) should mark the neighboring rungs too."""
+    marker = SimilarityMarker(ladder, gamma=1)
+    marker.attach_subgraph(ladder)
+    marker.mark_similar(1, 5)
+    lookup = ladder.edge_lookup()
+    assert marker.is_marked(lookup[(1, 5)])
+    assert marker.is_marked(lookup[(0, 4)])
+    assert marker.is_marked(lookup[(2, 6)])
+    # A far rung is outside gamma=1 balls.
+    assert not marker.is_marked(lookup[(3, 7)])
+
+
+def test_gamma_zero_marks_only_direct_edge(ladder):
+    marker = SimilarityMarker(ladder, gamma=0)
+    marker.attach_subgraph(ladder)
+    marker.mark_similar(1, 5)
+    lookup = ladder.edge_lookup()
+    assert marker.is_marked(lookup[(1, 5)])
+    assert not marker.is_marked(lookup[(0, 4)])
+
+
+def test_marks_accumulate(ladder):
+    marker = SimilarityMarker(ladder, gamma=0)
+    marker.attach_subgraph(ladder)
+    marker.mark_similar(0, 4)
+    marker.mark_similar(3, 7)
+    lookup = ladder.edge_lookup()
+    assert marker.is_marked(lookup[(0, 4)])
+    assert marker.is_marked(lookup[(3, 7)])
+
+
+def test_mark_count_returned(ladder):
+    marker = SimilarityMarker(ladder, gamma=1)
+    marker.attach_subgraph(ladder)
+    first = marker.mark_similar(1, 5)
+    assert first >= 3
+    # Re-marking the same region adds nothing new.
+    second = marker.mark_similar(1, 5)
+    assert second == 0
+
+
+def test_balls_in_subgraph_not_graph(ladder):
+    """Balls grow in the attached subgraph, not in the full graph."""
+    # Attach only the bottom rail: balls around 1 and 5 cannot meet
+    # through rungs, so no rung except... none are subgraph edges, but
+    # marking uses *graph* edges between ball nodes.
+    rail = ladder.subgraph(
+        np.array([k for k in range(ladder.edge_count)
+                  if ladder.v[k] == ladder.u[k] + 1])
+    )
+    marker = SimilarityMarker(ladder, gamma=1)
+    marker.attach_subgraph(rail)
+    marker.mark_similar(1, 5)
+    lookup = ladder.edge_lookup()
+    # Ball(1) = {0,1,2} along the rail; ball(5) = {4,5,6}; graph edges
+    # joining them are exactly the rungs (0,4), (1,5), (2,6).
+    assert marker.is_marked(lookup[(0, 4)])
+    assert marker.is_marked(lookup[(1, 5)])
+    assert marker.is_marked(lookup[(2, 6)])
+    assert not marker.is_marked(lookup[(3, 7)])
+
+
+def test_rejects_negative_gamma(ladder):
+    with pytest.raises(ValueError):
+        SimilarityMarker(ladder, gamma=-1)

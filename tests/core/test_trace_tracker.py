@@ -1,0 +1,77 @@
+"""Tests for the incremental trace tracker (Eqs. 6-10 as a feature)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TraceTracker, exact_trace_reduction
+from repro.core.trace import trace_ratio_exact
+from repro.graph import grid2d, regularization_shift, regularized_laplacian
+from repro.linalg import cholesky
+from repro.tree import mewst
+
+
+@pytest.fixture()
+def setting():
+    g = grid2d(7, 7, seed=91)
+    shift = regularization_shift(g, 1e-7)
+    L_G = regularized_laplacian(g, shift)
+    tree_ids = mewst(g)
+    L_T = regularized_laplacian(g.subgraph(tree_ids), shift)
+    off = np.setdiff1d(np.arange(g.edge_count), tree_ids)
+    return g, shift, L_G, tree_ids, L_T, off
+
+
+def test_exact_accounting_matches_fresh_trace(setting):
+    """Tracker trajectory == independently measured traces (Eq. 10)."""
+    g, shift, L_G, tree_ids, L_T, off = setting
+    tracker = TraceTracker(g, trace_ratio_exact(L_G, L_T))
+    ids = tree_ids
+    for edge in off[:5]:
+        factor = cholesky(regularized_laplacian(g.subgraph(ids), shift))
+        tracker.account_exact(factor.solve, edge)
+        ids = np.sort(np.concatenate([ids, [edge]]))
+        actual = trace_ratio_exact(
+            L_G, regularized_laplacian(g.subgraph(ids), shift)
+        )
+        assert tracker.current == pytest.approx(actual, rel=1e-5)
+
+
+def test_history_monotone_decreasing(setting):
+    g, shift, L_G, tree_ids, L_T, off = setting
+    tracker = TraceTracker(g, trace_ratio_exact(L_G, L_T))
+    factor = cholesky(L_T)
+    for edge in off[:4]:
+        reduction = exact_trace_reduction(
+            g, factor.solve, int(g.u[edge]), int(g.v[edge]), float(g.w[edge])
+        )
+        tracker.account(edge, reduction * 0.9)  # approximate inputs
+    history = tracker.history
+    assert all(b <= a + 1e-12 for a, b in zip(history, history[1:]))
+    assert tracker.accounted_edges == [int(e) for e in off[:4]]
+
+
+def test_clamped_at_n(setting):
+    g, _, L_G, _, L_T, _ = setting
+    tracker = TraceTracker(g, trace_ratio_exact(L_G, L_T))
+    tracker.account(0, 1e12)  # absurd over-estimate
+    assert tracker.current == g.n
+
+
+def test_rejects_bad_inputs(setting):
+    g, _, L_G, _, L_T, _ = setting
+    with pytest.raises(ValueError):
+        TraceTracker(g, g.n * 0.5)  # below the n floor
+    tracker = TraceTracker(g, trace_ratio_exact(L_G, L_T))
+    with pytest.raises(ValueError):
+        tracker.account(0, -1.0)
+
+
+def test_verify_measures_drift(setting):
+    g, shift, L_G, tree_ids, L_T, off = setting
+    tracker = TraceTracker(g, trace_ratio_exact(L_G, L_T))
+    factor = cholesky(L_T)
+    tracker.account_exact(factor.solve, off[0])
+    ids = np.sort(np.concatenate([tree_ids, [off[0]]]))
+    L_S = regularized_laplacian(g.subgraph(ids), shift)
+    drift = tracker.verify(L_G, L_S)
+    assert drift < 1e-5

@@ -1,0 +1,90 @@
+"""Tests for BFS kernels (BallFinder and bfs_tree_order)."""
+
+import numpy as np
+
+from repro.graph import BallFinder, bfs_tree_order
+
+
+def _finder(graph, with_eids=False):
+    indptr, nbr, eid = graph.adjacency()
+    if with_eids:
+        return BallFinder(indptr, nbr, edge_ids=eid)
+    return BallFinder(indptr, nbr)
+
+
+def test_ball_zero_layers(path_graph):
+    nodes, pred, _ = _finder(path_graph).ball(2, 0)
+    assert nodes.tolist() == [2]
+    assert pred.tolist() == [-1]
+
+
+def test_ball_one_layer(path_graph):
+    nodes, pred, _ = _finder(path_graph).ball(2, 1)
+    assert set(nodes.tolist()) == {1, 2, 3}
+
+
+def test_ball_covers_path(path_graph):
+    nodes, _, _ = _finder(path_graph).ball(0, 4)
+    assert set(nodes.tolist()) == {0, 1, 2, 3, 4}
+
+
+def test_ball_distances_on_grid(medium_grid):
+    """Ball(k) on a grid is exactly the L1 diamond of radius k."""
+    finder = _finder(medium_grid)
+    side = 20
+    center = 10 * side + 10
+    for layers in (1, 2, 3):
+        nodes, _, _ = finder.ball(center, layers)
+        expected = 0
+        for i in range(side):
+            for j in range(side):
+                if abs(i - 10) + abs(j - 10) <= layers:
+                    expected += 1
+        assert len(nodes) == expected
+
+
+def test_ball_predecessors_precede(medium_grid):
+    """Each node's predecessor appears earlier in the BFS order."""
+    finder = _finder(medium_grid)
+    nodes, pred, _ = finder.ball(25, 4)
+    position = {int(n): k for k, n in enumerate(nodes)}
+    for k in range(1, len(nodes)):
+        assert position[int(pred[k])] < k
+
+
+def test_ball_edge_ids(path_graph):
+    nodes, pred, eids = _finder(path_graph, with_eids=True).ball(1, 1)
+    lookup = path_graph.edge_lookup()
+    for k in range(1, len(nodes)):
+        a, b = sorted((int(nodes[k]), int(pred[k])))
+        assert eids[k] == lookup[(a, b)]
+
+
+def test_ball_reuse_is_clean(path_graph):
+    """Stamp reuse: consecutive queries do not leak state."""
+    finder = _finder(path_graph)
+    first, _, _ = finder.ball(0, 1)
+    second, _, _ = finder.ball(4, 1)
+    assert set(second.tolist()) == {3, 4}
+
+
+def test_bfs_tree_order_visits_all(medium_grid):
+    indptr, nbr, _ = medium_grid.adjacency()
+    order, pred = bfs_tree_order(indptr, nbr, [0], n=medium_grid.n)
+    assert len(order) == medium_grid.n
+    assert pred[0] == -1
+    assert (pred[order[1:]] >= 0).all()
+
+
+def test_bfs_tree_order_multiple_roots(forest_graph):
+    indptr, nbr, _ = forest_graph.adjacency()
+    order, pred = bfs_tree_order(indptr, nbr, [0, 3], n=forest_graph.n)
+    assert len(order) == forest_graph.n
+    assert pred[0] == -1 and pred[3] == -1
+
+
+def test_bfs_tree_order_unreachable(forest_graph):
+    indptr, nbr, _ = forest_graph.adjacency()
+    order, pred = bfs_tree_order(indptr, nbr, [0], n=forest_graph.n)
+    assert set(order.tolist()) == {0, 1, 2}
+    assert (pred[[3, 4, 5]] == -2).all()

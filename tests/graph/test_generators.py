@@ -1,0 +1,143 @@
+"""Tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    circuit_grid,
+    connected_components,
+    grid2d,
+    grid3d,
+    is_connected,
+    random_geometric_graph,
+    triangular_mesh,
+)
+from repro.graph.generators import edge_weights
+
+
+class TestGrid2D:
+    def test_size_and_edges(self):
+        g = grid2d(5, 7)
+        assert g.n == 35
+        assert g.edge_count == 4 * 7 + 5 * 6
+
+    def test_diagonals_add_edges(self):
+        plain = grid2d(6, 6)
+        diag = grid2d(6, 6, diagonals=True)
+        assert diag.edge_count == plain.edge_count + 25
+
+    def test_connected(self):
+        assert is_connected(grid2d(9, 4, seed=3))
+
+    def test_deterministic(self):
+        a = grid2d(4, 4, seed=5)
+        b = grid2d(4, 4, seed=5)
+        np.testing.assert_allclose(a.w, b.w)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            grid2d(0, 3)
+
+    def test_degenerate_1d(self):
+        g = grid2d(1, 10)
+        assert g.edge_count == 9
+
+    def test_weight_band_is_respected(self):
+        g = grid2d(8, 8, weights="smooth", seed=1, w_min=0.5, w_max=2.0)
+        assert g.w.min() >= 0.5 - 1e-12
+        assert g.w.max() <= 2.0 + 1e-12
+
+    def test_narrow_band_shrinks_spread(self):
+        wide = grid2d(8, 8, weights="smooth", seed=1)
+        narrow = grid2d(8, 8, weights="smooth", seed=1, w_min=0.5, w_max=2.0)
+        assert narrow.w.max() / narrow.w.min() < wide.w.max() / wide.w.min()
+
+
+class TestGrid3D:
+    def test_size_and_edges(self):
+        g = grid3d(3, 4, 5)
+        assert g.n == 60
+        assert g.edge_count == 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4
+
+    def test_connected(self):
+        assert is_connected(grid3d(3, 3, 3, seed=1))
+
+
+class TestTriangularMesh:
+    def test_basic_properties(self):
+        g = triangular_mesh(300, shape="square", seed=2)
+        assert g.n == 300
+        # Delaunay: m ~ 3n.
+        assert 2.0 * g.n < g.edge_count < 3.2 * g.n
+        assert is_connected(g)
+
+    @pytest.mark.parametrize(
+        "shape", ["square", "disk", "annulus", "airfoil", "wing", "lshape"]
+    )
+    def test_all_shapes_build(self, shape):
+        g = triangular_mesh(150, shape=shape, seed=4)
+        assert g.n == 150
+        assert g.edge_count > g.n
+
+    def test_unknown_shape(self):
+        with pytest.raises(GraphError):
+            triangular_mesh(100, shape="dodecahedron")
+
+    def test_too_few_points(self):
+        with pytest.raises(GraphError):
+            triangular_mesh(2)
+
+
+class TestRandomGeometric:
+    def test_default_radius_connects(self):
+        g = random_geometric_graph(150, seed=7)
+        count, _ = connected_components(g)
+        assert count <= 3  # near-threshold radius; almost surely connected
+
+    def test_tiny_radius_raises(self):
+        with pytest.raises(GraphError):
+            random_geometric_graph(50, radius=1e-6, seed=1)
+
+
+class TestCircuitGrid:
+    def test_layers_and_vias(self):
+        g = circuit_grid(6, 6, layers=3, via_density=0.1, seed=9)
+        assert g.n == 108
+        per_layer_edges = 2 * 6 * 5
+        vias = g.edge_count - 3 * per_layer_edges
+        assert vias == 2 * max(1, int(0.1 * 36))
+
+    def test_single_layer(self):
+        g = circuit_grid(4, 4, layers=1, seed=0)
+        assert g.n == 16
+        assert is_connected(g)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(GraphError):
+            circuit_grid(4, 4, layers=0)
+
+
+class TestEdgeWeights:
+    def test_unit(self):
+        rng = np.random.default_rng(0)
+        w = edge_weights("unit", np.zeros((5, 2)), rng)
+        np.testing.assert_allclose(w, 1.0)
+
+    def test_uniform_within_bounds(self):
+        rng = np.random.default_rng(0)
+        w = edge_weights("uniform", np.zeros((500, 2)), rng, w_min=0.5, w_max=2.0)
+        assert w.min() >= 0.5 and w.max() <= 2.0
+
+    def test_smooth_is_spatially_correlated(self):
+        rng = np.random.default_rng(3)
+        points = np.linspace(0, 1, 400)[:, None] * np.ones((1, 2))
+        w = edge_weights("smooth", points, rng, w_min=0.1, w_max=10.0)
+        # Neighboring points should have similar weights.
+        ratio = np.abs(np.diff(np.log(w))).max()
+        assert ratio < 0.5
+
+    def test_unknown_kind(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(GraphError):
+            edge_weights("nope", np.zeros((3, 2)), rng)

@@ -1,0 +1,47 @@
+"""Tests for Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import read_graph_mtx, write_graph_mtx
+
+
+def test_laplacian_roundtrip(tmp_path, small_grid):
+    path = tmp_path / "grid.mtx"
+    write_graph_mtx(path, small_grid, as_laplacian=True)
+    graph, excess = read_graph_mtx(path)
+    assert graph.edge_key_set() == small_grid.edge_key_set()
+    # Pure Laplacian: diagonal fully explained by edges.
+    np.testing.assert_allclose(excess, 0, atol=1e-9)
+
+
+def test_adjacency_roundtrip(tmp_path, triangle_graph):
+    path = tmp_path / "tri.mtx"
+    write_graph_mtx(path, triangle_graph, as_laplacian=False)
+    graph, excess = read_graph_mtx(path, mode="adjacency")
+    assert excess is None
+    assert graph.edge_key_set() == triangle_graph.edge_key_set()
+    np.testing.assert_allclose(np.sort(graph.w), np.sort(triangle_graph.w))
+
+
+def test_auto_mode_detects_laplacian(tmp_path, path_graph):
+    path = tmp_path / "p.mtx"
+    write_graph_mtx(path, path_graph, as_laplacian=True)
+    graph, excess = read_graph_mtx(path, mode="auto")
+    assert excess is not None  # Laplacian branch taken
+    assert graph.edge_count == path_graph.edge_count
+
+
+def test_auto_mode_detects_adjacency(tmp_path, path_graph):
+    path = tmp_path / "a.mtx"
+    write_graph_mtx(path, path_graph, as_laplacian=False)
+    graph, excess = read_graph_mtx(path, mode="auto")
+    assert excess is None
+
+
+def test_unknown_mode(tmp_path, path_graph):
+    path = tmp_path / "x.mtx"
+    write_graph_mtx(path, path_graph)
+    with pytest.raises(GraphError):
+        read_graph_mtx(path, mode="bogus")

@@ -1,0 +1,57 @@
+"""Tests for the named SuiteSparse stand-in cases."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import CASE_REGISTRY, is_connected, make_case
+from repro.graph.suitesparse_like import scaled_size
+
+
+def test_registry_has_all_paper_cases():
+    expected = {
+        "ecology2", "thermal2", "parabolic", "tmt_sym", "G3_circuit",
+        "NACA0015", "M6", "333SP", "AS365", "NLR",
+    }
+    assert set(CASE_REGISTRY) == expected
+
+
+@pytest.mark.parametrize("name", sorted(CASE_REGISTRY))
+def test_every_case_builds_small(name):
+    graph, spec = make_case(name, scale=0.02, seed=1)
+    assert spec.name == name
+    assert graph.n >= 64
+    assert graph.edge_count > graph.n * 0.9
+    assert is_connected(graph)
+
+
+def test_unknown_case():
+    with pytest.raises(GraphError):
+        make_case("not_a_case")
+
+
+def test_scaled_size_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert scaled_size(1000) == 500
+    monkeypatch.delenv("REPRO_SCALE")
+    assert scaled_size(1000) == 1000
+
+
+def test_scaled_size_floor():
+    assert scaled_size(1000, scale=1e-9) == 64
+
+
+def test_scaled_size_rejects_nonpositive():
+    with pytest.raises(GraphError):
+        scaled_size(100, scale=0)
+
+
+def test_case_determinism():
+    a, _ = make_case("ecology2", scale=0.02, seed=5)
+    b, _ = make_case("ecology2", scale=0.02, seed=5)
+    np.testing.assert_allclose(a.w, b.w)
+
+
+def test_mesh_cases_have_fem_density():
+    graph, _ = make_case("M6", scale=0.05, seed=0)
+    assert 2.5 < graph.edge_count / graph.n < 3.2

@@ -1,0 +1,90 @@
+"""Tests for elimination tree and symbolic pattern machinery."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import laplacian
+from repro.linalg import elimination_tree, postorder
+from repro.linalg.etree import _upper_csc, ereach
+
+
+def _dense_chol_pattern(A):
+    """Reference: nonzero pattern of the dense Cholesky factor."""
+    dense = A.toarray()
+    L = np.linalg.cholesky(dense)
+    return np.abs(L) > 1e-12
+
+
+def test_etree_of_tridiagonal():
+    """Tridiagonal matrix: etree is the path i -> i+1."""
+    n = 6
+    A = sp.diags([-1, 2.5, -1], [-1, 0, 1], shape=(n, n)).tocsc()
+    parent = elimination_tree(A)
+    np.testing.assert_array_equal(parent, [1, 2, 3, 4, 5, -1])
+
+
+def test_etree_parent_is_greater(small_grid):
+    L = laplacian(small_grid, shift=0.1)
+    parent = elimination_tree(L)
+    for node, par in enumerate(parent):
+        assert par == -1 or par > node
+
+
+def test_etree_matches_factor_pattern(small_grid):
+    """parent[i] == min{k > i : L[k,i] != 0} (no exact cancellation here)."""
+    L = laplacian(small_grid, shift=0.1)
+    parent = elimination_tree(L)
+    pattern = _dense_chol_pattern(L)
+    n = small_grid.n
+    for i in range(n):
+        below = np.flatnonzero(pattern[i + 1 :, i])
+        if len(below) == 0:
+            assert parent[i] == -1
+        else:
+            assert parent[i] == i + 1 + below[0]
+
+
+def test_ereach_matches_factor_row_pattern(small_grid):
+    L = laplacian(small_grid, shift=0.1)
+    parent = elimination_tree(L)
+    pattern = _dense_chol_pattern(L)
+    upper = _upper_csc(L)
+    n = small_grid.n
+    marker = np.full(n, -1, dtype=np.int64)
+    for k in range(n):
+        reach = set(ereach(upper, k, parent, marker, k))
+        expected = set(np.flatnonzero(pattern[k, :k]).tolist())
+        assert reach == expected
+
+
+def test_ereach_topological_order(small_grid):
+    """Descendants appear before ancestors in the returned pattern."""
+    L = laplacian(small_grid, shift=0.1)
+    parent = elimination_tree(L)
+    upper = _upper_csc(L)
+    marker = np.full(small_grid.n, -1, dtype=np.int64)
+    for k in (10, 30, 63):
+        reach = ereach(upper, k, parent, marker, 1000 + k)
+        seen = set()
+        for j in reach:
+            # No previously seen node may be an ancestor of j.
+            ancestor = parent[j]
+            while ancestor != -1 and ancestor < k:
+                assert ancestor not in seen
+                ancestor = parent[ancestor]
+            seen.add(j)
+
+
+def test_postorder_children_before_parents():
+    parent = np.array([2, 2, 4, 4, -1])
+    order = postorder(parent)
+    position = {int(node): k for k, node in enumerate(order)}
+    for node, par in enumerate(parent):
+        if par != -1:
+            assert position[node] < position[int(par)]
+
+
+def test_postorder_rejects_cycle():
+    with pytest.raises(ValueError):
+        postorder(np.array([1, 0]))

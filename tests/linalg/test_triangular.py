@@ -1,0 +1,63 @@
+"""Tests for CSC triangular solves."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import FactorizationError
+from repro.linalg import solve_lower_csc, solve_upper_from_lower_csc
+
+
+@pytest.fixture()
+def lower_factor():
+    rng = np.random.default_rng(7)
+    n = 25
+    dense = np.tril(rng.standard_normal((n, n)))
+    dense[np.abs(dense) < 0.8] = 0.0
+    np.fill_diagonal(dense, rng.uniform(1.0, 2.0, n))
+    return sp.csc_matrix(dense)
+
+
+def test_lower_solve(lower_factor):
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(lower_factor.shape[0])
+    y = solve_lower_csc(lower_factor, b)
+    np.testing.assert_allclose(lower_factor @ y, b, atol=1e-10)
+
+
+def test_upper_solve(lower_factor):
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal(lower_factor.shape[0])
+    x = solve_upper_from_lower_csc(lower_factor, b)
+    np.testing.assert_allclose(lower_factor.T @ x, b, atol=1e-10)
+
+
+def test_lower_solve_matrix_rhs(lower_factor):
+    rng = np.random.default_rng(2)
+    B = rng.standard_normal((lower_factor.shape[0], 4))
+    Y = solve_lower_csc(lower_factor, B)
+    np.testing.assert_allclose(lower_factor @ Y, B, atol=1e-10)
+
+
+def test_round_trip_is_spd_solve(lower_factor):
+    """L L^T x = b via the two sweeps equals a dense solve."""
+    rng = np.random.default_rng(3)
+    b = rng.standard_normal(lower_factor.shape[0])
+    A = (lower_factor @ lower_factor.T).toarray()
+    x = solve_upper_from_lower_csc(lower_factor, solve_lower_csc(lower_factor, b))
+    np.testing.assert_allclose(x, np.linalg.solve(A, b), rtol=1e-8)
+
+
+def test_missing_diagonal_raises():
+    L = sp.csc_matrix(np.array([[1.0, 0.0], [1.0, 0.0]]))
+    with pytest.raises(FactorizationError):
+        solve_lower_csc(L, np.ones(2))
+    with pytest.raises(FactorizationError):
+        solve_upper_from_lower_csc(L, np.ones(2))
+
+
+def test_identity_is_noop():
+    L = sp.eye(5, format="csc")
+    b = np.arange(5.0)
+    np.testing.assert_allclose(solve_lower_csc(L, b), b)
+    np.testing.assert_allclose(solve_upper_from_lower_csc(L, b), b)

@@ -1,0 +1,76 @@
+"""Tests for the synthetic PG benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.graph import connected_components
+from repro.powergrid import PG_CASE_REGISTRY, make_pg_case
+
+_PS = 1e-12
+
+
+def test_registry_has_paper_cases():
+    assert set(PG_CASE_REGISTRY) == {
+        "ibmpg3t", "ibmpg4t", "ibmpg5t", "ibmpg6t", "thupg1t", "thupg2t",
+    }
+
+
+@pytest.mark.parametrize("name", sorted(PG_CASE_REGISTRY))
+def test_case_builds(name):
+    netlist, spec = make_pg_case(name, scale=0.05, seed=0)
+    assert spec.name == name
+    assert netlist.n > 0
+    assert len(netlist.loads) >= 2
+    assert len(netlist.pad_nodes()) >= 2
+
+
+def test_two_planes(capsys):
+    netlist, _ = make_pg_case("ibmpg3t", scale=0.1, seed=0)
+    count, labels = connected_components(netlist.graph)
+    assert count == 2
+    # VDD plane nodes have rail 1.8, GND plane 0.0.
+    half = netlist.n // 2
+    np.testing.assert_allclose(netlist.rail_voltage[:half], 1.8)
+    np.testing.assert_allclose(netlist.rail_voltage[half:], 0.0)
+
+
+def test_caps_in_paper_range():
+    netlist, _ = make_pg_case("ibmpg4t", scale=0.1, seed=1)
+    assert netlist.capacitance.min() >= 1e-12
+    assert netlist.capacitance.max() <= 10e-12
+
+
+def test_load_signs():
+    netlist, _ = make_pg_case("ibmpg5t", scale=0.08, seed=2)
+    half = netlist.n // 2
+    for load in netlist.loads:
+        if load.node < half:
+            assert load.sign == -1.0  # draws from VDD
+        else:
+            assert load.sign == +1.0  # returns into GND
+
+
+def test_breakpoints_snap_to_10ps():
+    netlist, _ = make_pg_case("ibmpg3t", scale=0.08, seed=3)
+    for load in netlist.loads:
+        for value in (
+            load.pattern.delay,
+            load.pattern.rise,
+            load.pattern.width,
+            load.pattern.fall,
+            load.pattern.period,
+        ):
+            steps = value / (10 * _PS)
+            assert steps == pytest.approx(round(steps), abs=1e-6)
+
+
+def test_unknown_case():
+    with pytest.raises(KeyError):
+        make_pg_case("ibmpg99t")
+
+
+def test_determinism():
+    a, _ = make_pg_case("thupg1t", scale=0.05, seed=9)
+    b, _ = make_pg_case("thupg1t", scale=0.05, seed=9)
+    np.testing.assert_allclose(a.graph.w, b.graph.w)
+    np.testing.assert_allclose(a.capacitance, b.capacitance)

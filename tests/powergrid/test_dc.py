@@ -1,0 +1,54 @@
+"""Tests for DC analysis (direct and PCG paths)."""
+
+import numpy as np
+import pytest
+
+from repro.powergrid import (
+    build_sparsifier_preconditioner,
+    dc_solve,
+    make_pg_case,
+)
+
+
+@pytest.fixture(scope="module")
+def case():
+    netlist, _ = make_pg_case("ibmpg3t", scale=0.1, seed=11)
+    return netlist
+
+
+def test_direct_dc_satisfies_kcl(case):
+    from repro.powergrid.mna import conductance_matrix
+
+    x, info = dc_solve(case, method="direct")
+    G = conductance_matrix(case)
+    rhs = case.source_vector(0.0)
+    np.testing.assert_allclose(G @ x, rhs, atol=1e-6)
+    assert info["method"] == "direct"
+
+
+def test_pcg_dc_matches_direct(case):
+    x_direct, _ = dc_solve(case, method="direct")
+    factor, _, _ = build_sparsifier_preconditioner(
+        case, method="proposed", edge_fraction=0.10, rounds=2, seed=0
+    )
+    x_pcg, info = dc_solve(case, method="pcg", preconditioner=factor,
+                           rtol=1e-10)
+    assert info["converged"]
+    np.testing.assert_allclose(x_pcg, x_direct, atol=1e-5)
+
+
+def test_pcg_requires_preconditioner(case):
+    with pytest.raises(ValueError):
+        dc_solve(case, method="pcg")
+
+
+def test_unknown_method(case):
+    with pytest.raises(ValueError):
+        dc_solve(case, method="spice")
+
+
+def test_dc_voltages_bracketed_by_rails(case):
+    """Node voltages sit between GND and VDD at DC."""
+    x, _ = dc_solve(case, method="direct")
+    assert x.min() >= -1e-9
+    assert x.max() <= 1.8 + 1e-9

@@ -1,0 +1,114 @@
+"""Tests for the PG netlist model and MNA assembly."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.graph import Graph
+from repro.powergrid import (
+    CurrentLoad,
+    PowerGridNetlist,
+    PulsePattern,
+    capacitance_vector,
+    conductance_matrix,
+)
+from repro.powergrid.mna import backward_euler_matrix
+
+_PS = 1e-12
+
+
+@pytest.fixture()
+def tiny_netlist():
+    """3-node chain: pad at node 0, load at node 2."""
+    graph = Graph.from_edges(3, [(0, 1, 2.0), (1, 2, 1.0)])
+    pattern = PulsePattern(1e-3, 0.0, 50 * _PS, 100 * _PS, 50 * _PS, 1000 * _PS)
+    return PowerGridNetlist(
+        graph=graph,
+        capacitance=np.array([1e-12, 2e-12, 3e-12]),
+        pad_conductance=np.array([100.0, 0.0, 0.0]),
+        rail_voltage=np.array([1.0, 1.0, 1.0]),
+        loads=[CurrentLoad(2, pattern, sign=-1.0)],
+    )
+
+
+def test_conductance_matrix(tiny_netlist):
+    G = conductance_matrix(tiny_netlist).toarray()
+    expected = np.array(
+        [[102.0, -2.0, 0.0], [-2.0, 3.0, -1.0], [0.0, -1.0, 1.0]]
+    )
+    np.testing.assert_allclose(G, expected)
+
+
+def test_conductance_is_spd(tiny_netlist):
+    G = conductance_matrix(tiny_netlist).toarray()
+    assert np.linalg.eigvalsh(G).min() > 0
+
+
+def test_capacitance_vector(tiny_netlist):
+    np.testing.assert_allclose(
+        capacitance_vector(tiny_netlist), [1e-12, 2e-12, 3e-12]
+    )
+
+
+def test_backward_euler_matrix(tiny_netlist):
+    h = 10 * _PS
+    A = backward_euler_matrix(tiny_netlist, h).toarray()
+    G = conductance_matrix(tiny_netlist).toarray()
+    np.testing.assert_allclose(
+        A, G + np.diag(tiny_netlist.capacitance / h)
+    )
+
+
+def test_source_vector_includes_pads_and_loads(tiny_netlist):
+    # At the pulse plateau the load draws 1 mA out of node 2.
+    u = tiny_netlist.source_vector(100 * _PS)
+    np.testing.assert_allclose(u, [100.0, 0.0, -1e-3])
+
+
+def test_pad_nodes(tiny_netlist):
+    assert tiny_netlist.pad_nodes().tolist() == [0]
+
+
+def test_validation_rejects_bad_shapes():
+    graph = Graph.from_edges(2, [(0, 1, 1.0)])
+    with pytest.raises(SimulationError):
+        PowerGridNetlist(
+            graph=graph,
+            capacitance=np.ones(3),
+            pad_conductance=np.array([1.0, 0.0]),
+            rail_voltage=np.ones(2),
+        )
+
+
+def test_validation_rejects_no_pads():
+    graph = Graph.from_edges(2, [(0, 1, 1.0)])
+    with pytest.raises(SimulationError):
+        PowerGridNetlist(
+            graph=graph,
+            capacitance=np.ones(2) * 1e-12,
+            pad_conductance=np.zeros(2),
+            rail_voltage=np.ones(2),
+        )
+
+
+def test_validation_rejects_bad_load_node():
+    graph = Graph.from_edges(2, [(0, 1, 1.0)])
+    pattern = PulsePattern(1e-3, 0, 1e-12, 0, 1e-12, 1e-9)
+    with pytest.raises(SimulationError):
+        PowerGridNetlist(
+            graph=graph,
+            capacitance=np.ones(2) * 1e-12,
+            pad_conductance=np.array([1.0, 0.0]),
+            rail_voltage=np.ones(2),
+            loads=[CurrentLoad(5, pattern)],
+        )
+
+
+def test_dc_voltage_drop(tiny_netlist):
+    """DC with constant load: V follows pad - I*R along the chain."""
+    from repro.powergrid import dc_solve
+
+    x, info = dc_solve(tiny_netlist, method="direct")
+    # At t=0 the load is 0 (pulse starts rising at t=0+), so all nodes
+    # sit at the pad-driven equilibrium ~ 1.0 V.
+    np.testing.assert_allclose(x, 1.0, rtol=1e-9)

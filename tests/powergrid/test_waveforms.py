@@ -1,0 +1,98 @@
+"""Tests for pulse waveforms and breakpoint extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.powergrid import PulsePattern, breakpoints_union
+
+_PS = 1e-12
+
+
+@pytest.fixture()
+def pulse():
+    return PulsePattern(
+        amplitude=1e-3,
+        delay=100 * _PS,
+        rise=50 * _PS,
+        width=200 * _PS,
+        fall=50 * _PS,
+        period=1000 * _PS,
+    )
+
+
+def test_zero_before_delay(pulse):
+    assert pulse.value(0.0) == 0.0
+    assert pulse.value(99 * _PS) == 0.0
+
+
+def test_ramp_midpoint(pulse):
+    assert pulse.value(100 * _PS + 25 * _PS) == pytest.approx(0.5e-3)
+
+
+def test_plateau(pulse):
+    assert pulse.value(200 * _PS) == pytest.approx(1e-3)
+
+
+def test_falling_edge(pulse):
+    t = 100 * _PS + 50 * _PS + 200 * _PS + 25 * _PS
+    assert pulse.value(t) == pytest.approx(0.5e-3)
+
+
+def test_zero_after_pulse(pulse):
+    assert pulse.value(500 * _PS) == 0.0
+
+
+def test_periodicity(pulse):
+    for t in np.linspace(100 * _PS, 1100 * _PS, 37):
+        assert pulse.value(t) == pytest.approx(pulse.value(t + pulse.period))
+
+
+def test_vectorized_matches_scalar(pulse):
+    ts = np.linspace(0, 3e-9, 101)
+    vec = pulse.value(ts)
+    for t, v in zip(ts, vec):
+        assert v == pytest.approx(pulse.value(float(t)))
+
+
+def test_breakpoints_within_horizon(pulse):
+    pts = pulse.breakpoints(2e-9)
+    assert (pts > 0).all() and (pts <= 2e-9).all()
+    # First period corners.
+    for expected in (100e-12, 150e-12, 350e-12, 400e-12):
+        assert np.any(np.isclose(pts, expected))
+
+
+def test_breakpoints_union_includes_t_end(pulse):
+    other = PulsePattern(1e-3, 0.0, 20 * _PS, 100 * _PS, 20 * _PS, 500 * _PS)
+    pts = breakpoints_union([pulse, other], 1e-9)
+    assert np.isclose(pts[-1], 1e-9)
+    assert len(pts) >= len(pulse.breakpoints(1e-9))
+
+
+def test_validation():
+    with pytest.raises(SimulationError):
+        PulsePattern(1.0, 0.0, 0.0, 1.0, 1.0, 10.0)  # zero rise
+    with pytest.raises(SimulationError):
+        PulsePattern(1.0, -1.0, 1.0, 1.0, 1.0, 10.0)  # negative delay
+    with pytest.raises(SimulationError):
+        PulsePattern(1.0, 0.0, 1.0, 5.0, 1.0, 2.0)  # period too short
+
+
+@given(
+    amp=st.floats(1e-4, 1e-1),
+    rise=st.integers(1, 10),
+    width=st.integers(0, 20),
+    fall=st.integers(1, 10),
+    slack=st.integers(0, 30),
+)
+@settings(max_examples=30, deadline=None)
+def test_value_bounded_by_amplitude(amp, rise, width, fall, slack):
+    period = (rise + width + fall + slack) * _PS
+    p = PulsePattern(amp, 0.0, rise * _PS, width * _PS, fall * _PS, period)
+    ts = np.linspace(0, 5 * period, 113)
+    values = p.value(ts)
+    assert (values >= -1e-18).all()
+    assert (values <= amp * (1 + 1e-9)).all()

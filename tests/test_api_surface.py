@@ -1,0 +1,70 @@
+"""The public API surface: everything advertised in __all__ exists.
+
+Guards downstream users against accidental removals: every name in
+``repro.__all__`` must be importable, documented, and the package's
+version must be sane.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_all_names_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ advertises {name}"
+
+
+def test_version_is_semver():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.graph",
+        "repro.tree",
+        "repro.linalg",
+        "repro.core",
+        "repro.powergrid",
+        "repro.partitioning",
+        "repro.utils",
+        "repro.cli",
+        "repro.exceptions",
+    ],
+)
+def test_submodules_importable_and_documented(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__, f"{module} needs a module docstring"
+
+
+def test_public_functions_have_docstrings():
+    import inspect
+
+    missing = []
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        obj = getattr(repro, name)
+        if callable(obj) and not inspect.getdoc(obj):
+            missing.append(name)
+    assert not missing, f"public callables without docstrings: {missing}"
+
+
+def test_exceptions_hierarchy():
+    from repro import exceptions
+
+    for name in (
+        "GraphError",
+        "NotATreeError",
+        "FactorizationError",
+        "ConvergenceError",
+        "SimulationError",
+    ):
+        cls = getattr(exceptions, name)
+        assert issubclass(cls, exceptions.ReproError)
+        assert issubclass(cls, Exception)

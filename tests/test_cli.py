@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cases_lists_everything(capsys):
+    assert main(["cases"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ecology2", "NLR", "ibmpg3t", "thupg2t"):
+        assert name in out
+
+
+def test_sparsify_named_case(capsys):
+    code = main(
+        ["sparsify", "--case", "ecology2", "--scale", "0.04",
+         "--rounds", "2", "--fraction", "0.05"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "kappa" in out
+    assert "PCG iterations" in out
+
+
+@pytest.mark.parametrize("method", ["grass", "fegrass"])
+def test_sparsify_baselines(capsys, method):
+    code = main(
+        ["sparsify", "--case", "tmt_sym", "--scale", "0.04",
+         "--method", method, "--rounds", "2"]
+    )
+    assert code == 0
+    assert method in capsys.readouterr().out
+
+
+def test_sparsify_mtx_file(tmp_path, capsys):
+    from repro.graph import grid2d, write_graph_mtx
+
+    path = tmp_path / "g.mtx"
+    write_graph_mtx(path, grid2d(10, 10, seed=0))
+    code = main(["sparsify", "--mtx", str(path), "--rounds", "1"])
+    assert code == 0
+    assert "100 nodes" in capsys.readouterr().out
+
+
+def test_transient_command(capsys):
+    code = main(
+        ["transient", "--case", "ibmpg3t", "--scale", "0.08",
+         "--t-end", "1e-9"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "direct" in out and "pcg" in out
+    assert "waveform deviation" in out
+
+
+def test_partition_command(capsys):
+    code = main(["partition", "--case", "ecology2", "--scale", "0.06"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "RelErr" in out
+
+
+def test_requires_source_for_sparsify():
+    with pytest.raises(SystemExit):
+        main(["sparsify"])
+
+
+def test_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

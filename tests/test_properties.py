@@ -1,0 +1,157 @@
+"""Cross-module property-based tests (hypothesis).
+
+These encode the paper's mathematical invariants on randomly generated
+graphs — the properties that must hold for *any* input, not just the
+fixtures: Laplacian PSD-ness, Rayleigh-quotient domination of subgraphs,
+trace/kappa ordering, SPAI nonnegativity, tree-resistance metric
+axioms, and PCG's Galerkin property.
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import trace_ratio_exact
+from repro.graph import (
+    Graph,
+    grid2d,
+    laplacian,
+    regularization_shift,
+    regularized_laplacian,
+)
+from repro.linalg import cholesky, pcg, sparse_approximate_inverse
+from repro.tree import RootedForest, batch_tree_resistances, mewst
+
+
+def _random_connected_graph(seed, max_nodes=24):
+    """Random spanning tree + random extra edges (always connected)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, max_nodes))
+    edges = {}
+    for node in range(1, n):
+        parent = int(rng.integers(0, node))
+        edges[(parent, node)] = float(rng.uniform(0.2, 5.0))
+    extras = rng.integers(0, 2 * n)
+    for _ in range(int(extras)):
+        a, b = rng.integers(0, n, size=2)
+        if a == b:
+            continue
+        key = (min(a, b), max(a, b))
+        if key not in edges:
+            edges[key] = float(rng.uniform(0.2, 5.0))
+    triples = [(a, b, w) for (a, b), w in edges.items()]
+    return Graph.from_edges(n, triples)
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=40, deadline=None)
+def test_laplacian_is_psd_with_zero_row_sums(seed):
+    g = _random_connected_graph(seed)
+    L = laplacian(g).toarray()
+    np.testing.assert_allclose(L.sum(axis=1), 0, atol=1e-10)
+    eigenvalues = np.linalg.eigvalsh(L)
+    assert eigenvalues.min() > -1e-9
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_subgraph_rayleigh_domination(seed):
+    """x^T L_S x <= x^T L_G x for any subgraph S and any x."""
+    g = _random_connected_graph(seed)
+    rng = np.random.default_rng(seed + 1)
+    mask = rng.random(g.edge_count) < 0.6
+    sub = g.subgraph(mask)
+    L_G = laplacian(g).toarray()
+    L_S = laplacian(sub).toarray()
+    for _ in range(5):
+        x = rng.standard_normal(g.n)
+        assert x @ L_S @ x <= x @ L_G @ x + 1e-9
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_generalized_spectrum_bounded_below_by_one(seed):
+    """With the shared shift, all generalized eigenvalues are >= 1."""
+    g = _random_connected_graph(seed)
+    tree_ids = mewst(g)
+    shift = regularization_shift(g, 1e-4)
+    L_G = regularized_laplacian(g, shift).toarray()
+    L_T = regularized_laplacian(g.subgraph(tree_ids), shift).toarray()
+    eigenvalues = sla.eigh(L_G, L_T, eigvals_only=True)
+    assert eigenvalues.min() >= 1.0 - 1e-7
+    # Eq. (5): kappa = lambda_max <= trace.
+    assert eigenvalues.max() <= np.trace(np.linalg.solve(L_T, L_G)) + 1e-7
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_tree_resistance_is_a_metric(seed):
+    g = _random_connected_graph(seed)
+    forest = RootedForest(g, mewst(g))
+    rng = np.random.default_rng(seed + 2)
+    nodes = rng.integers(0, g.n, size=(10, 3))
+    for a, b, c in nodes:
+        r_ab, _ = batch_tree_resistances(forest, [a], [b])
+        r_bc, _ = batch_tree_resistances(forest, [b], [c])
+        r_ac, _ = batch_tree_resistances(forest, [a], [c])
+        # Symmetry.
+        r_ba, _ = batch_tree_resistances(forest, [b], [a])
+        assert r_ab[0] == pytest.approx(r_ba[0])
+        # Identity.
+        if a == b:
+            assert r_ab[0] == pytest.approx(0.0, abs=1e-12)
+        # Triangle inequality (exact equality when paths nest).
+        assert r_ac[0] <= r_ab[0] + r_bc[0] + 1e-9
+
+
+@given(seed=st.integers(0, 500), delta=st.sampled_from([0.0, 0.1, 0.3]))
+@settings(max_examples=20, deadline=None)
+def test_spai_invariants_on_random_graphs(seed, delta):
+    g = _random_connected_graph(seed)
+    shift = regularization_shift(g, 1e-3)
+    factor = cholesky(regularized_laplacian(g, shift))
+    Z = sparse_approximate_inverse(factor.L, delta=delta)
+    coo = Z.tocoo()
+    assert (coo.row >= coo.col).all()          # lower triangular
+    assert (coo.data >= -1e-13).all()          # Proposition 1
+    assert np.diff(Z.indptr).min() >= 1        # no empty columns
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_pcg_monotone_residual_with_exact_preconditioner(seed):
+    g = _random_connected_graph(seed)
+    shift = regularization_shift(g, 1e-3)
+    A = regularized_laplacian(g, shift)
+    factor = cholesky(A)
+    rng = np.random.default_rng(seed + 3)
+    b = rng.standard_normal(g.n)
+    result = pcg(A, b, M_solve=factor.solve, rtol=1e-10, record_history=True)
+    assert result.converged
+    assert result.iterations <= 3
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=15, deadline=None)
+def test_trace_of_self_is_n(seed):
+    g = _random_connected_graph(seed)
+    shift = regularization_shift(g, 1e-5)
+    L = regularized_laplacian(g, shift)
+    assert trace_ratio_exact(L, L) == pytest.approx(g.n, rel=1e-8)
+
+
+@given(seed=st.integers(0, 300))
+@settings(max_examples=10, deadline=None)
+def test_sparsifier_always_valid_on_random_graphs(seed):
+    """Algorithm 2 produces a connected, budget-respecting subgraph."""
+    from repro.core import trace_reduction_sparsify
+    from repro.graph import connected_components
+
+    g = _random_connected_graph(seed, max_nodes=40)
+    result = trace_reduction_sparsify(g, edge_fraction=0.15, rounds=2, seed=0)
+    count, _ = connected_components(result.sparsifier)
+    assert count == 1
+    assert result.edge_count <= g.edge_count
+    assert result.edge_mask[result.tree_edge_ids].all()

@@ -1,0 +1,115 @@
+"""Tests for repro.utils (rng, timers, validation, reporting)."""
+
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils import (
+    Table,
+    Timer,
+    as_rng,
+    check_in_range,
+    check_integer,
+    check_positive,
+    check_square_sparse,
+    format_bytes,
+    format_seconds,
+)
+from repro.utils.reporting import format_count
+
+
+class TestAsRng:
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).standard_normal(5)
+        b = as_rng(42).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).standard_normal(5)
+        b = as_rng(2).standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestTimer:
+    def test_elapsed_nonnegative(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0.0
+
+    def test_measures_sleep(self):
+        with Timer() as t:
+            time.sleep(0.02)
+        assert t.elapsed >= 0.015
+
+    def test_lap_and_restart(self):
+        t = Timer()
+        with t:
+            first = t.lap()
+            t.restart()
+            second = t.lap()
+        assert first >= 0.0 and second >= 0.0
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        check_positive("x", 1.5)
+
+    @pytest.mark.parametrize("bad", [0, -1, "a", None, float("nan")])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive("x", bad)
+
+    def test_check_in_range(self):
+        check_in_range("x", 0.5, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range("x", 2, 0, 1)
+
+    def test_check_integer(self):
+        check_integer("k", 3)
+        with pytest.raises(ValueError):
+            check_integer("k", -1)
+        with pytest.raises(ValueError):
+            check_integer("k", 2.5)
+
+    def test_check_square_sparse(self):
+        check_square_sparse("A", sp.eye(3, format="csr"))
+        with pytest.raises(TypeError):
+            check_square_sparse("A", np.eye(3))
+        with pytest.raises(ValueError):
+            check_square_sparse("A", sp.random(3, 4))
+
+
+class TestReporting:
+    def test_format_seconds_scales(self):
+        assert format_seconds(123.4) == "123"
+        assert format_seconds(1.234) == "1.23"
+        assert format_seconds(0.01234) == "0.012"
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0B"
+        assert format_bytes(2048) == "2.0KB"
+        assert "GB" in format_bytes(3 * 1024**3)
+
+    def test_format_count(self):
+        assert format_count(1_000_000) == "1.0E+06"
+        assert format_count(123) == "123"
+
+    def test_table_renders_rows(self):
+        table = Table(["a", "b"])
+        table.add_row(["x", 1.23456])
+        text = table.render()
+        assert "a" in text and "x" in text and "1.235" in text
+
+    def test_table_rejects_bad_row(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only one"])
