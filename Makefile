@@ -1,0 +1,22 @@
+# Developer entry points. Everything runs from the repository root and
+# injects PYTHONPATH=src so a clean checkout needs no install step.
+
+PYTHON ?= python
+PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke docs-check
+
+# Tier-1 gate: the full unit/property suite.
+test:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+# Quick perf sanity: batched-vs-serial ranking comparison (>= 20k nodes)
+# plus the kernel microbenches in statistics-free mode.
+bench-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_kernels.py \
+		-q -s -k ranking --benchmark-disable
+
+# Execute every runnable code block in the documentation; fails when a
+# documented command stops working.
+docs-check:
+	$(PYTHONPATH_PREFIX) $(PYTHON) tools/check_docs.py README.md docs/architecture.md

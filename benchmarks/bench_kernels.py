@@ -8,13 +8,23 @@ kernels, batch LCA, and a preconditioned PCG solve.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.core import approximate_trace_reduction, tree_truncated_trace_reduction
+from repro.core import (
+    ApproxRanker,
+    approximate_trace_reduction,
+    score_edges,
+    tree_truncated_trace_reduction,
+)
 from repro.graph import make_case, regularization_shift, regularized_laplacian
 from repro.linalg import cholesky, pcg, sparse_approximate_inverse
 from repro.tree import RootedForest, batch_tree_resistances, mewst
+from repro.utils.reporting import Table
+
+from conftest import emit
 
 
 @pytest.fixture(scope="module")
@@ -67,6 +77,123 @@ def test_batch_lca_resistances(benchmark, setting):
     benchmark(
         lambda: batch_tree_resistances(forest, graph.u[off], graph.v[off])
     )
+
+
+# ----------------------------------------------------------------------
+# Batched ranking engine vs serial scoring (>= 20k nodes).
+#
+# Three paths over identical candidates, all bit-identical in output:
+#
+# * "serial per-edge"  — one approximate_trace_reduction call per
+#   candidate, re-allocating work arrays and re-growing BFS balls every
+#   time (what naive per-candidate scoring costs; the engine's floor);
+# * "whole-batch reference" — one approximate_trace_reduction call over
+#   the full candidate array (the pre-engine round loop's actual path);
+# * "batched ranker"   — ApproxRanker.score_batch with the per-round
+#   ball/column caches (the engine's production path).
+# ----------------------------------------------------------------------
+
+_RANKING_SUBSET = 300  # candidates scored per timing (serial path is slow)
+
+
+@pytest.fixture(scope="module")
+def ranking_setting(scale):
+    # ecology2 at >= 2.1x its base size puts the grid above 20k nodes.
+    graph, _ = make_case("ecology2", scale=max(scale, 1.0) * 2.1, seed=0)
+    assert graph.n >= 20_000
+    shift = regularization_shift(graph)
+    tree_ids = mewst(graph)
+    forest = RootedForest(graph, tree_ids)
+    tree = graph.subgraph(tree_ids)
+    factor = cholesky(regularized_laplacian(tree, shift))
+    Z = sparse_approximate_inverse(factor.L, delta=0.1)
+    off = np.flatnonzero(~forest.tree_edge_mask())
+    rng = np.random.default_rng(0)
+    subset = np.sort(rng.choice(off, size=_RANKING_SUBSET, replace=False))
+    return graph, tree, factor, Z, subset
+
+
+def _rank_serial_per_edge(graph, tree, factor, Z, subset):
+    return np.array([
+        float(
+            approximate_trace_reduction(graph, tree, factor, Z, [e], beta=5)[0]
+        )
+        for e in subset
+    ])
+
+
+def _rank_reference_whole_batch(graph, tree, factor, Z, subset):
+    return approximate_trace_reduction(graph, tree, factor, Z, subset, beta=5)
+
+
+def _rank_batched(graph, tree, factor, Z, subset):
+    ranker = ApproxRanker(graph, tree, factor, Z, beta=5)
+    return score_edges(ranker, subset, workers=1)
+
+
+def _best_of(fn, repeats=2):
+    """Best wall-clock of *repeats* runs (dampens scheduler noise)."""
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_ranking_serial_per_edge(benchmark, ranking_setting):
+    graph, tree, factor, Z, subset = ranking_setting
+    benchmark(lambda: _rank_serial_per_edge(graph, tree, factor, Z, subset))
+
+
+def test_ranking_reference_whole_batch(benchmark, ranking_setting):
+    graph, tree, factor, Z, subset = ranking_setting
+    benchmark(
+        lambda: _rank_reference_whole_batch(graph, tree, factor, Z, subset)
+    )
+
+
+def test_ranking_batched(benchmark, ranking_setting):
+    graph, tree, factor, Z, subset = ranking_setting
+    benchmark(lambda: _rank_batched(graph, tree, factor, Z, subset))
+
+
+def test_ranking_batched_vs_serial_report(ranking_setting):
+    """Time the three paths, emit the comparison, check the 3x target."""
+    graph, tree, factor, Z, subset = ranking_setting
+
+    serial_scores, serial_seconds = _best_of(
+        lambda: _rank_serial_per_edge(graph, tree, factor, Z, subset)
+    )
+    reference_scores, reference_seconds = _best_of(
+        lambda: _rank_reference_whole_batch(graph, tree, factor, Z, subset)
+    )
+    batched_scores, batched_seconds = _best_of(
+        lambda: _rank_batched(graph, tree, factor, Z, subset)
+    )
+
+    assert np.array_equal(serial_scores, batched_scores)
+    assert np.array_equal(reference_scores, batched_scores)
+    speedup = serial_seconds / batched_seconds
+    vs_reference = reference_seconds / batched_seconds
+    table = Table(["path", "candidates", "seconds", "edges/s"])
+    for label, seconds in (
+        ("serial per-edge", serial_seconds),
+        ("whole-batch reference", reference_seconds),
+        ("batched ranker", batched_seconds),
+    ):
+        table.add_row(
+            [label, len(subset), f"{seconds:.3f}",
+             f"{len(subset) / seconds:.0f}"]
+        )
+    emit(
+        "kernels_ranking_batched_vs_serial",
+        table.render()
+        + f"\nn = {graph.n} nodes; {speedup:.1f}x vs per-edge, "
+        f"{vs_reference:.2f}x vs whole-batch reference",
+    )
+    assert speedup >= 3.0, f"batched ranking only {speedup:.1f}x faster"
 
 
 def test_pcg_tree_preconditioned(benchmark, setting):

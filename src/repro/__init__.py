@@ -49,6 +49,13 @@ from repro.core import (
     trace_reduction_sparsify,
     SparsifierConfig,
     SparsifierResult,
+    EdgeRanker,
+    BallBundle,
+    BallCache,
+    TreePhaseRanker,
+    ExactRanker,
+    ApproxRanker,
+    score_edges,
     grass_sparsify,
     GrassConfig,
     fegrass_sparsify,
@@ -90,6 +97,13 @@ __all__ = [
     "trace_reduction_sparsify",
     "SparsifierConfig",
     "SparsifierResult",
+    "EdgeRanker",
+    "BallBundle",
+    "BallCache",
+    "TreePhaseRanker",
+    "ExactRanker",
+    "ApproxRanker",
+    "score_edges",
     "grass_sparsify",
     "GrassConfig",
     "fegrass_sparsify",

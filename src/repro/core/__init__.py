@@ -24,6 +24,20 @@ from repro.core.trace_reduction import (
     approximate_trace_reduction,
 )
 from repro.core.tree_phase import tree_truncated_trace_reduction
+from repro.core.ranking import (
+    ApproxRanker,
+    BallBundle,
+    BallCache,
+    EdgeRanker,
+    ExactRanker,
+    TreePhaseRanker,
+)
+from repro.core.parallel import (
+    DEFAULT_CHUNK_SIZE,
+    chunk_spans,
+    resolve_workers,
+    score_edges,
+)
 from repro.core.similarity import SimilarityMarker
 from repro.core.sparsifier import (
     SparsifierConfig,
@@ -50,6 +64,16 @@ __all__ = [
     "truncated_trace_reduction_reference",
     "approximate_trace_reduction",
     "tree_truncated_trace_reduction",
+    "EdgeRanker",
+    "BallBundle",
+    "BallCache",
+    "TreePhaseRanker",
+    "ExactRanker",
+    "ApproxRanker",
+    "DEFAULT_CHUNK_SIZE",
+    "chunk_spans",
+    "resolve_workers",
+    "score_edges",
     "SimilarityMarker",
     "SparsifierConfig",
     "SparsifierResult",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["concat_ranges", "ball_pair_edge_sum"]
+__all__ = ["concat_ranges", "ball_pair_edge_sum", "ball_pair_edge_sum_flat"]
 
 
 def concat_ranges(starts, lengths):
@@ -19,14 +19,29 @@ def concat_ranges(starts, lengths):
 
     Equivalent to ``np.concatenate([np.arange(s, s+l) ...])`` but built
     from two cumsums, with no per-range Python overhead.
+
+    Parameters
+    ----------
+    starts : array_like of int
+        Range start offsets.
+    lengths : array_like of int
+        Range lengths (zero-length ranges are skipped).
+
+    Returns
+    -------
+    numpy.ndarray
+        The concatenated ranges as one ``int64`` array.
     """
     starts = np.asarray(starts, dtype=np.int64)
     lengths = np.asarray(lengths, dtype=np.int64)
-    nonzero = lengths > 0
-    if not np.all(nonzero):
-        starts = starts[nonzero]
-        lengths = lengths[nonzero]
-    if len(starts) == 0:
+    positive = lengths > 0
+    if not np.all(positive):
+        # Non-positive lengths contribute nothing (empty CSR ranges).
+        starts = starts[positive]
+        lengths = lengths[positive]
+    if len(lengths) == 0:
+        # Covers empty input and all-zero lengths; bail out before any
+        # cum[-1] indexing can see an empty cumsum.
         return np.empty(0, dtype=np.int64)
     cum = np.cumsum(lengths)
     out = np.ones(cum[-1], dtype=np.int64)
@@ -81,6 +96,45 @@ def ball_pair_edge_sum(
     nbrs = neighbors[flat]
     eids = edge_ids[flat]
     sources = np.repeat(nodes_p, lengths)
+    return ball_pair_edge_sum_flat(
+        sources, nbrs, eids, weights, in_q_stamp, clock, values
+    )
+
+
+def ball_pair_edge_sum_flat(
+    sources,
+    nbrs,
+    eids,
+    weights,
+    in_q_stamp,
+    clock,
+    values,
+):
+    """:func:`ball_pair_edge_sum` on a pre-flattened adjacency slice.
+
+    The batched rankers cache, per ball, the flattened incident-edge
+    triples ``(sources, nbrs, eids)`` of the original graph; this entry
+    point skips the per-call CSR gather that :func:`ball_pair_edge_sum`
+    performs and goes straight to the stamped restriction.
+
+    Parameters
+    ----------
+    sources, nbrs, eids : numpy.ndarray
+        Parallel arrays: for every (directed) incidence of a ball node,
+        the ball node itself, its neighbor, and the connecting edge id.
+    weights : numpy.ndarray
+        Edge weight array of the original graph.
+    in_q_stamp, clock :
+        Stamp array marking the second ball: node ``x`` is in the ball
+        iff ``in_q_stamp[x] == clock``.
+    values : numpy.ndarray
+        Dense per-node value array; only ball-node entries are read.
+
+    Returns
+    -------
+    float
+        The restricted quadratic form.
+    """
     mask = in_q_stamp[nbrs] == clock
     if not np.any(mask):
         return 0.0

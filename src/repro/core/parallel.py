@@ -1,0 +1,222 @@
+"""Chunked worker-pool execution of edge-ranking batches.
+
+The ranking engine's ``score_batch`` is chunk-stable (scores are
+independent of how the candidate list is split), so candidate scoring
+is embarrassingly parallel.  This module shards a candidate array into
+fixed-size chunks and maps them over a ``concurrent.futures`` process
+pool, falling back to a serial loop whenever a pool cannot help or
+cannot be created.
+
+Design points:
+
+* **Shared read-only state.**  Pools use the ``fork`` start method and
+  publish the ranker through a module-level slot, so workers inherit
+  the CSR adjacencies, SPAI arrays and warmed caches copy-on-write —
+  nothing of size ``O(n)`` is pickled per task.  The driver calls
+  ``ranker.prepare(...)`` *before* forking for exactly this reason.
+* **Determinism.**  Chunk boundaries depend only on ``chunk_size``
+  (never on the worker count), chunks are concatenated in submission
+  order, and each candidate's score is computed independently, so
+  ``workers=k`` is bit-identical to ``workers=1`` for every ``k``.
+* **Serial fallback.**  ``workers <= 1``, a single chunk, platforms
+  without ``fork`` (e.g. Windows), calls from a multi-threaded process
+  (forking one can deadlock the children), or a pool that fails to
+  start or loses a worker all degrade to an in-process loop with
+  identical results, emitting a ``RuntimeWarning`` when parallelism
+  was requested but lost.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "resolve_workers",
+    "chunk_spans",
+    "score_edges",
+]
+
+DEFAULT_CHUNK_SIZE = 1024
+"""Chunk size used when the caller passes ``chunk_size=0`` (auto).
+
+Fixed (not derived from the worker count) so that chunking — and with
+it the work sharding — is identical for every ``workers`` setting.
+"""
+
+# Ranker and candidate array handed to forked workers by inheritance;
+# guarded by _POOL_LOCK so concurrent score_edges callers (threads)
+# serialize on pool usage instead of clobbering each other's slot.
+# See score_edges().
+_ACTIVE_RANKER = None
+_ACTIVE_EDGE_IDS = None
+_POOL_LOCK = threading.Lock()
+
+
+def resolve_workers(workers: int) -> int:
+    """Normalize a ``workers`` knob to an effective worker count.
+
+    Parameters
+    ----------
+    workers : int
+        ``1`` (serial), ``>1`` (that many processes) or ``0`` (one per
+        available CPU).
+
+    Returns
+    -------
+    int
+        The effective worker count, at least 1.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        try:
+            # Respects CPU affinity / container cgroup masks, unlike
+            # os.cpu_count() (which reports the whole host).
+            return len(os.sched_getaffinity(0)) or 1
+        except AttributeError:  # platforms without sched_getaffinity
+            return os.cpu_count() or 1
+    return workers
+
+
+def chunk_spans(total: int, chunk_size: int) -> list:
+    """Split ``range(total)`` into ``(start, stop)`` spans.
+
+    Parameters
+    ----------
+    total : int
+        Number of items to cover.
+    chunk_size : int
+        Span length (the last span may be shorter); ``0`` selects
+        :data:`DEFAULT_CHUNK_SIZE`.
+
+    Returns
+    -------
+    list of tuple
+        Consecutive half-open spans covering ``[0, total)``.
+    """
+    if chunk_size < 0:
+        raise ValueError(f"chunk_size must be >= 0, got {chunk_size}")
+    if chunk_size == 0:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    return [
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    ]
+
+
+def _score_span(span) -> np.ndarray:
+    """Worker entry point: score one chunk of the active ranker."""
+    start, stop = span
+    return _ACTIVE_RANKER.score_batch(_ACTIVE_EDGE_IDS[start:stop])
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or None when unsupported.
+
+    Restricted to Linux: forking after BLAS/Accelerate threads have run
+    is documented as crash-prone on macOS, and Windows has no ``fork``
+    at all — both fall back to the (bit-identical) serial path.
+    """
+    import multiprocessing
+    import sys
+
+    if not sys.platform.startswith("linux"):
+        return None
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def score_edges(ranker, edge_ids, workers: int = 1, chunk_size: int = 0):
+    """Score candidate edges with *ranker*, optionally across processes.
+
+    Parameters
+    ----------
+    ranker : EdgeRanker
+        Any :class:`repro.core.ranking.EdgeRanker`; its caches are
+        warmed in the calling process first so forked workers share
+        them read-only.
+    edge_ids : array_like of int
+        Candidate edge ids.
+    workers : int, optional
+        ``1`` serial (default), ``>1`` that many worker processes,
+        ``0`` one per CPU.
+    chunk_size : int, optional
+        Candidates per task; ``0`` (default) selects
+        :data:`DEFAULT_CHUNK_SIZE`.  Results do not depend on this
+        value.
+
+    Returns
+    -------
+    numpy.ndarray
+        One score per candidate, aligned with *edge_ids* — bit-identical
+        for every ``workers`` / ``chunk_size`` combination.
+    """
+    global _ACTIVE_RANKER, _ACTIVE_EDGE_IDS
+    edge_ids = np.asarray(edge_ids, dtype=np.int64)
+    if len(edge_ids) == 0:
+        return np.empty(0)
+    spans = chunk_spans(len(edge_ids), chunk_size)
+    workers = resolve_workers(workers)
+
+    def _serial() -> np.ndarray:
+        # Chunk stability makes one whole-batch call bit-identical to
+        # the chunked pool result, and it skips any per-call setup the
+        # ranker repeats per score_batch invocation.  score_batch warms
+        # its own caches, so no separate prepare() pass is needed here.
+        return ranker.score_batch(edge_ids)
+
+    if workers <= 1 or len(spans) <= 1:
+        return _serial()
+    context = _fork_context()
+    if context is None:
+        warnings.warn(
+            "fork-based worker pool unavailable on this platform; "
+            "scoring serially (results are identical)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial()
+    if threading.active_count() > 1:
+        # Forking a multi-threaded process can deadlock the children on
+        # locks held by the other threads at fork time.
+        warnings.warn(
+            "refusing to fork from a multi-threaded process; "
+            "scoring serially (results are identical)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial()
+    # Warm caches in the parent so forked children inherit them.
+    ranker.prepare(edge_ids)
+
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    with _POOL_LOCK:
+        _ACTIVE_RANKER = ranker
+        _ACTIVE_EDGE_IDS = edge_ids
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(spans)), mp_context=context
+            ) as pool:
+                parts = list(pool.map(_score_span, spans))
+        except (OSError, BrokenProcessPool) as exc:
+            # Pool could not start (sandboxed hosts) or a worker died
+            # (OOM-killed, segfaulted); identical results, just slower.
+            warnings.warn(
+                f"worker pool failed ({exc!r}); rescoring serially "
+                "(results are identical)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return _serial()
+        finally:
+            _ACTIVE_RANKER = None
+            _ACTIVE_EDGE_IDS = None
+    return np.concatenate(parts)

@@ -1,0 +1,591 @@
+"""Batched edge-ranking engine for Algorithm 2.
+
+Every round of :func:`~repro.core.sparsifier.trace_reduction_sparsify`
+spends its time ranking off-subgraph candidate edges by (approximate)
+trace reduction.  This module turns that per-edge scoring into a staged
+engine with a uniform **batch API**:
+
+* :class:`EdgeRanker` — the protocol every ranker implements:
+  ``prepare(edge_ids)`` warms per-round caches, ``score_batch(edge_ids)``
+  returns one criticality score per candidate;
+* :class:`TreePhaseRanker` — round 1, the solve-free tree-phase
+  truncated trace reduction (Eqs. 13-15);
+* :class:`ExactRanker` — Eq. (11) through exact solves (validation);
+* :class:`ApproxRanker` — Eq. (20), the production path: SPAI-column
+  gathers, BFS-ball lookups and the ``ball_pair_edge_sum`` kernel are
+  fed from per-round caches so each candidate costs a handful of small
+  numpy calls and no Python BFS.
+
+The :class:`BallCache` persists across densification rounds: recovering
+edges only changes BFS balls near the touched endpoints, so only those
+entries are invalidated (see ``docs/architecture.md`` for the exact
+contract).  Scores are bit-identical to the reference implementations in
+:mod:`repro.core.trace_reduction` and independent of how candidates are
+chunked, which is what makes the worker-pool execution in
+:mod:`repro.core.parallel` deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core._kernels import ball_pair_edge_sum_flat, concat_ranges
+from repro.core.trace_reduction import exact_trace_reduction_batch
+from repro.core.tree_phase import tree_truncated_trace_reduction
+from repro.tree.lca import batch_tree_resistances
+from repro.graph.bfs import BallFinder
+from repro.graph.graph import Graph
+from repro.graph.laplacian import regularized_laplacian
+from repro.linalg.cholesky import cholesky
+from repro.linalg.spai import extract_columns
+
+__all__ = [
+    "EdgeRanker",
+    "BallBundle",
+    "BallCache",
+    "TreePhaseRanker",
+    "ExactRanker",
+    "ApproxRanker",
+]
+
+
+@runtime_checkable
+class EdgeRanker(Protocol):
+    """Protocol of one ranking stage of Algorithm 2.
+
+    A ranker scores candidate edges of a fixed original graph against a
+    fixed current subgraph.  Implementations must be **chunk-stable**:
+    ``score_batch`` of a concatenation equals the concatenation of
+    ``score_batch`` of the pieces, bit for bit.  That property is what
+    lets :func:`repro.core.parallel.score_edges` shard candidates across
+    worker processes without changing the result.
+    """
+
+    def prepare(self, edge_ids) -> None:
+        """Warm any caches needed to score *edge_ids* (idempotent)."""
+
+    def score_batch(self, edge_ids) -> np.ndarray:
+        """Return one criticality score per candidate edge id."""
+
+
+BallBundle = namedtuple("BallBundle", ["nodes", "sources", "nbrs", "eids"])
+"""Cached per-node ball data.
+
+Attributes
+----------
+nodes : numpy.ndarray
+    Sorted nodes of the beta-ball around the key node (in the current
+    subgraph).
+sources, nbrs, eids : numpy.ndarray
+    Flattened incident-edge triples of *nodes* in the **original**
+    graph, as consumed by
+    :func:`repro.core._kernels.ball_pair_edge_sum_flat`.
+"""
+
+
+class BallCache:
+    """Per-round cache of BFS balls with touched-node invalidation.
+
+    Algorithm 2 adds a few edges per round; a ball around ``a`` computed
+    in round ``r`` is still correct in round ``r + 1`` unless some
+    endpoint of a newly recovered edge lies within ``beta`` hops of
+    ``a`` in the new subgraph.  The cache therefore persists across
+    rounds and only drops entries inside the balls of touched endpoints
+    (the exact rule — and why it is safe — is spelled out in
+    ``docs/architecture.md``).
+
+    Parameters
+    ----------
+    beta : int
+        BFS truncation depth; all cached balls use this radius.
+    max_entries : int, optional
+        Upper bound on stored balls/bundles (each bundle costs roughly
+        ``ball_size * avg_degree`` incidence triples).  At capacity,
+        further queries are computed transiently and returned without
+        being stored — slower, but memory stays bounded.  ``None``
+        (default) means unbounded, which is at most one entry per
+        graph node.
+
+    Notes
+    -----
+    The contract has two obligations on the caller:
+
+    1. call :meth:`attach_subgraph` whenever the subgraph adjacency
+       changes, passing ``invalidate=<touched nodes>`` (every node whose
+       incident edge set changed since the previous attach);
+    2. call :meth:`attach_graph` once with the original graph before
+       requesting bundles.
+
+    Entries are read-only once created; worker processes forked after
+    :meth:`ensure` share them copy-on-write without synchronization.
+    """
+
+    def __init__(self, beta: int, max_entries: int | None = None) -> None:
+        if beta < 1:
+            raise ValueError(f"beta must be >= 1, got {beta}")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.beta = int(beta)
+        self.max_entries = max_entries
+        self._balls: dict = {}
+        self._bundles: dict = {}
+        self._finder: BallFinder | None = None
+        self._g_indptr = None
+        self._g_nbr = None
+        self._g_eid = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        """True once a subgraph adjacency has been attached."""
+        return self._finder is not None
+
+    def __len__(self) -> int:
+        return len(self._balls)
+
+    def attach_graph(self, graph: Graph) -> None:
+        """Record the original graph's CSR adjacency (bundle source)."""
+        g_indptr, g_nbr, g_eid = graph.adjacency()
+        self._g_indptr = g_indptr
+        self._g_nbr = g_nbr
+        self._g_eid = g_eid
+
+    def attach_subgraph(self, indptr, neighbors, invalidate=None) -> None:
+        """Point ball queries at a (possibly new) subgraph adjacency.
+
+        Parameters
+        ----------
+        indptr, neighbors : numpy.ndarray
+            CSR adjacency of the current subgraph ``S``.
+        invalidate : array_like of int, optional
+            Nodes whose incident edge set changed since the previous
+            attach (the endpoints of newly recovered edges).  Omit only
+            on the first attach or when the adjacency is unchanged;
+            passing stale adjacencies without the touched set silently
+            yields wrong scores.
+        """
+        self._finder = BallFinder(indptr, neighbors)
+        if invalidate is None:
+            return
+        invalidate = np.asarray(invalidate, dtype=np.int64)
+        stale: set = set()
+        for node in invalidate:
+            # Balls are grown in the NEW adjacency: a cached entry for
+            # ``a`` is stale iff some touched node is within beta hops
+            # of ``a`` now, i.e. iff ``a`` is in the touched node's new
+            # ball (the adjacency is symmetric).
+            stale.update(self._finder.ball_nodes(int(node), self.beta).tolist())
+        for node in stale:
+            self._balls.pop(node, None)
+            self._bundles.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _has_room(self, table: dict) -> bool:
+        return self.max_entries is None or len(table) < self.max_entries
+
+    def ensure(self, nodes) -> None:
+        """Compute and cache balls + bundles for any missing *nodes*.
+
+        Bundle construction is batched: one ``concat_ranges`` pass over
+        the concatenation of every missing ball gathers all incidence
+        triples at once, and per-node bundles are cheap slices of the
+        shared arrays.  Entries beyond ``max_entries`` are dropped.
+        """
+        missing = list(dict.fromkeys(
+            int(node)
+            for node in np.asarray(nodes, dtype=np.int64)
+            if int(node) not in self._bundles
+        ))
+        if self.max_entries is not None:
+            # Only warm what can actually be stored; over-capacity nodes
+            # are built transiently by bundle() when scoring reaches
+            # them, instead of being materialized and discarded here on
+            # every prepare() call.
+            room = self.max_entries - len(self._bundles)
+            missing = missing[: max(0, room)]
+        if missing:
+            self._materialize(missing)
+
+    def _materialize(self, missing: list) -> dict:
+        """Build bundles for *missing* nodes, caching within capacity."""
+        if self._finder is None:
+            raise RuntimeError("attach_subgraph() before ensure()")
+        if self._g_indptr is None:
+            raise RuntimeError("attach_graph() before ensure()")
+        fresh_balls = self._finder.balls(
+            [node for node in missing if node not in self._balls],
+            self.beta,
+        )
+        ball_list = []
+        for node in missing:
+            ball = self._balls.get(node)
+            if ball is None:
+                ball = fresh_balls[node]
+                if self._has_room(self._balls):
+                    self._balls[node] = ball
+            ball_list.append(ball)
+        all_nodes = np.concatenate(ball_list)
+        starts = self._g_indptr[all_nodes]
+        lengths = self._g_indptr[all_nodes + 1] - starts
+        flat = concat_ranges(starts, lengths)
+        sources = np.repeat(all_nodes, lengths)
+        nbrs = self._g_nbr[flat]
+        eids = self._g_eid[flat]
+        # Per-ball spans into the shared flat arrays.
+        node_offsets = np.zeros(len(ball_list) + 1, dtype=np.int64)
+        np.cumsum([len(b) for b in ball_list], out=node_offsets[1:])
+        incidence_bounds = np.zeros(len(all_nodes) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=incidence_bounds[1:])
+        built = {}
+        for k, node in enumerate(missing):
+            lo = incidence_bounds[node_offsets[k]]
+            hi = incidence_bounds[node_offsets[k + 1]]
+            # Copies, not views: a view would pin the whole batch's flat
+            # arrays in memory for as long as any one bundle survives
+            # invalidation.
+            bundle = BallBundle(
+                nodes=ball_list[k],
+                sources=sources[lo:hi].copy(),
+                nbrs=nbrs[lo:hi].copy(),
+                eids=eids[lo:hi].copy(),
+            )
+            built[node] = bundle
+            if self._has_room(self._bundles):
+                self._bundles[node] = bundle
+        return built
+
+    def ensure_balls(self, nodes) -> None:
+        """Cache bare ball node sets (no incidence bundles) for *nodes*.
+
+        Cheaper than :meth:`ensure` for nodes that only ever serve as
+        the stamped second ball (the ``q`` side of Eq. 20), which never
+        needs the incidence triples.
+        """
+        if self._finder is None:
+            raise RuntimeError("attach_subgraph() before ensure_balls()")
+        missing = [
+            int(node)
+            for node in np.asarray(nodes, dtype=np.int64)
+            if int(node) not in self._balls
+        ]
+        if not missing:
+            return
+        for node, ball in self._finder.balls(missing, self.beta).items():
+            if self._has_room(self._balls):
+                self._balls[node] = ball
+
+    def ball(self, node: int) -> np.ndarray:
+        """Sorted beta-ball around *node* in the current subgraph."""
+        nodes = self._balls.get(node)
+        if nodes is None:
+            if self._finder is None:
+                raise RuntimeError("attach_subgraph() before ball()")
+            nodes = self._finder.ball_nodes(node, self.beta)
+            if self._has_room(self._balls):
+                self._balls[node] = nodes
+        return nodes
+
+    def bundle(self, node: int) -> BallBundle:
+        """Ball plus flattened original-graph incidences around *node*.
+
+        At capacity the bundle is built and returned without being
+        stored.
+        """
+        cached = self._bundles.get(node)
+        if cached is not None:
+            return cached
+        return self._materialize([int(node)])[int(node)]
+
+
+class TreePhaseRanker:
+    """Round-1 ranker: solve-free tree-phase criticality (Eqs. 13-15).
+
+    Parameters
+    ----------
+    graph : Graph
+        The original graph ``G``.
+    forest : repro.tree.rooted.RootedForest
+        Rooted spanning forest ``T`` (the initial subgraph).
+    beta : int, optional
+        BFS truncation depth (paper default 5).
+    """
+
+    def __init__(self, graph: Graph, forest, beta: int = 5) -> None:
+        self.graph = graph
+        self.forest = forest
+        self.beta = int(beta)
+        self._resistances: np.ndarray | None = None
+
+    def prepare(self, edge_ids) -> None:
+        """Batch-compute tree resistances and warm shared structures.
+
+        One Tarjan offline-LCA DFS covers the whole candidate set, so
+        per-chunk ``score_batch`` calls (serial or in forked workers)
+        skip the O(n) DFS; the Euler intervals and CSR adjacencies are
+        materialized here too so workers inherit them copy-on-write.
+        """
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        if len(edge_ids) == 0:
+            return
+        if self._resistances is None:
+            self._resistances = np.full(self.graph.edge_count, np.nan)
+        missing = edge_ids[np.isnan(self._resistances[edge_ids])]
+        if len(missing):
+            resist, _ = batch_tree_resistances(
+                self.forest, self.graph.u[missing], self.graph.v[missing]
+            )
+            self._resistances[missing] = resist
+        self.forest.euler_intervals()
+        self.forest.tree.adjacency()
+        self.graph.adjacency()
+
+    def score_batch(self, edge_ids) -> np.ndarray:
+        """Tree-phase truncated trace reduction per candidate edge.
+
+        Parameters
+        ----------
+        edge_ids : array_like of int
+            Off-tree candidate edge ids.
+
+        Returns
+        -------
+        numpy.ndarray
+            Truncated trace reduction (Eq. 15), aligned with
+            *edge_ids*.
+        """
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        if len(edge_ids) == 0:
+            return np.empty(0)
+        self.prepare(edge_ids)
+        crit, _, _ = tree_truncated_trace_reduction(
+            self.graph, self.forest, edge_ids=edge_ids, beta=self.beta,
+            resistances=self._resistances[edge_ids],
+        )
+        return crit
+
+
+class ExactRanker:
+    """Validation ranker: Eq. (11) verbatim through exact solves.
+
+    Parameters
+    ----------
+    graph : Graph
+        The original graph ``G``.
+    solve : callable
+        ``solve(rhs) -> x`` with the (regularized) subgraph Laplacian,
+        e.g. ``CholeskyFactor.solve``.
+    """
+
+    def __init__(self, graph: Graph, solve) -> None:
+        self.graph = graph
+        self._solve = solve
+
+    @classmethod
+    def from_subgraph(
+        cls, graph: Graph, subgraph: Graph, shift: float,
+        cholesky_backend: str = "auto",
+    ) -> "ExactRanker":
+        """Factor ``L_S + shift I`` and build the ranker from it."""
+        factor = cholesky(
+            regularized_laplacian(subgraph, shift), backend=cholesky_backend
+        )
+        return cls(graph, factor.solve)
+
+    def prepare(self, edge_ids) -> None:
+        """No per-round caches; nothing to warm."""
+
+    def score_batch(self, edge_ids) -> np.ndarray:
+        """Exact trace reduction per candidate edge (one solve each)."""
+        return exact_trace_reduction_batch(
+            self.graph, self._solve, np.asarray(edge_ids, dtype=np.int64)
+        )
+
+
+class ApproxRanker:
+    """Production ranker: SPAI-based approximate trace reduction (Eq. 20).
+
+    Computes exactly what
+    :func:`repro.core.trace_reduction.approximate_trace_reduction`
+    computes — bit for bit — but feeds every per-candidate step from
+    caches that are shared across the whole round:
+
+    * BFS balls and their original-graph incidence bundles come from a
+      :class:`BallCache` (persisted across rounds, invalidated only
+      around touched nodes);
+    * SPAI columns of candidate endpoints are gathered once per round
+      through :func:`repro.linalg.spai.extract_columns`.
+
+    Parameters
+    ----------
+    graph : Graph
+        The original graph ``G``.
+    subgraph : Graph
+        The current subgraph ``S`` (BFS balls are grown here).
+    factor : repro.linalg.cholesky.CholeskyFactor
+        Factor of the regularized ``L_S`` — provides the ordering that
+        maps original nodes to columns of ``Z``.
+    Z : scipy.sparse.csc_matrix
+        Output of :func:`repro.linalg.spai.sparse_approximate_inverse`
+        on ``factor.L``.
+    beta : int, optional
+        BFS truncation depth (paper default 5).
+    cache : BallCache, optional
+        Cross-round ball cache.  When supplied it must already be
+        attached to *subgraph*'s adjacency (the sparsifier driver owns
+        invalidation); when omitted a private cache is created.
+
+    Notes
+    -----
+    ``score_batch`` reuses dense work vectors, so one ranker instance
+    must not be shared between threads.  Worker *processes* are fine:
+    each fork gets copy-on-write copies, and the scores are chunk-stable
+    (independent of how candidates are split), so any sharding of the
+    candidate list reproduces the serial result exactly.
+    """
+
+    def __init__(
+        self, graph: Graph, subgraph: Graph, factor, Z,
+        beta: int = 5, cache: BallCache | None = None,
+    ) -> None:
+        self.graph = graph
+        self.beta = int(beta)
+        self._iperm = np.asarray(factor.iperm, dtype=np.int64)
+        self._Z = Z
+        self._z_indptr = Z.indptr
+        self._z_indices = Z.indices.astype(np.int64)
+        self._z_data = Z.data
+        if cache is None:
+            cache = BallCache(beta)
+        if cache.beta != self.beta:
+            raise ValueError(
+                f"cache radius {cache.beta} != ranker beta {self.beta}"
+            )
+        cache.attach_graph(graph)
+        if not cache.attached:
+            sub_indptr, sub_nbr, _ = subgraph.adjacency()
+            cache.attach_subgraph(sub_indptr, sub_nbr)
+        self.cache = cache
+        self._cols: dict = {}
+        n = graph.n
+        self._u_dense = np.zeros(n)
+        self._s_dense = np.zeros(n)
+        self._in_q_stamp = np.zeros(n, dtype=np.int64)
+        self._clock = 0
+
+    def prepare(self, edge_ids) -> None:
+        """Warm the ball cache and the SPAI column table for a batch.
+
+        Idempotent and cheap when already warm.  The sparsifier driver
+        calls this in the parent process before forking workers so the
+        cached arrays are shared read-only.
+        """
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        if len(edge_ids) == 0:
+            return
+        # Heads need full incidence bundles (the summation side of
+        # Eq. 20); tails only ever get stamped, so bare balls suffice.
+        self.cache.ensure(np.unique(self.graph.u[edge_ids]))
+        self.cache.ensure_balls(np.unique(self.graph.v[edge_ids]))
+        endpoints = np.unique(
+            np.concatenate([self.graph.u[edge_ids], self.graph.v[edge_ids]])
+        )
+        missing = [
+            int(node) for node in endpoints if int(node) not in self._cols
+        ]
+        if not missing:
+            return
+        indptr, rows, vals = extract_columns(
+            self._Z, self._iperm[np.asarray(missing, dtype=np.int64)]
+        )
+        for k, node in enumerate(missing):
+            lo, hi = indptr[k], indptr[k + 1]
+            self._cols[node] = (rows[lo:hi], vals[lo:hi])
+
+    def score_batch(self, edge_ids) -> np.ndarray:
+        """Approximate trace reduction (Eq. 20) per candidate edge.
+
+        Parameters
+        ----------
+        edge_ids : array_like of int
+            Candidate off-subgraph edge ids (into ``graph``'s arrays).
+
+        Returns
+        -------
+        numpy.ndarray
+            Approximate trace reduction, aligned with *edge_ids*;
+            bit-identical to
+            :func:`~repro.core.trace_reduction.approximate_trace_reduction`
+            on the same candidates.
+        """
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        if len(edge_ids) == 0:
+            return np.empty(0)
+        self.prepare(edge_ids)
+
+        graph = self.graph
+        weights = graph.w
+        heads = graph.u[edge_ids]
+        tails = graph.v[edge_ids]
+        w_cand = weights[edge_ids]
+        iperm = self._iperm
+        z_indptr = self._z_indptr
+        z_indices = self._z_indices
+        z_data = self._z_data
+        cols = self._cols
+        cache = self.cache
+        u_dense = self._u_dense
+        s_dense = self._s_dense
+        in_q_stamp = self._in_q_stamp
+        out = np.empty(len(edge_ids))
+
+        for k in range(len(edge_ids)):
+            p, q = int(heads[k]), int(tails[k])
+            w_pq = float(w_cand[k])
+            self._clock += 1
+            clock = self._clock
+
+            # u = z~_p - z~_q scattered into a dense work vector.
+            rows_p, vals_p = cols[p]
+            rows_q, vals_q = cols[q]
+            u_dense[rows_p] += vals_p
+            u_dense[rows_q] -= vals_q
+            touched = np.unique(np.concatenate([rows_p, rows_q]))
+            resistance = float(np.sum(u_dense[touched] ** 2))
+
+            # Cached BFS balls in the current subgraph.
+            bundle_p = cache.bundle(p)
+            nodes_q = cache.ball(q)
+            in_q_stamp[nodes_q] = clock
+
+            # s_a = z~_a . u for every node in either ball, one gather.
+            ball_nodes = np.unique(
+                np.concatenate([bundle_p.nodes, nodes_q])
+            )
+            perm_cols = iperm[ball_nodes]
+            starts = z_indptr[perm_cols]
+            lengths = z_indptr[perm_cols + 1] - starts
+            flat = concat_ranges(starts, lengths)
+            col_of = np.repeat(np.arange(len(ball_nodes)), lengths)
+            s_values = np.bincount(
+                col_of,
+                weights=z_data[flat] * u_dense[z_indices[flat]],
+                minlength=len(ball_nodes),
+            )
+            s_dense[ball_nodes] = s_values
+
+            numerator = ball_pair_edge_sum_flat(
+                bundle_p.sources, bundle_p.nbrs, bundle_p.eids,
+                weights, in_q_stamp, clock, s_dense,
+            )
+            out[k] = w_pq * numerator / (1.0 + w_pq * resistance)
+
+            u_dense[rows_p] = 0.0
+            u_dense[rows_q] = 0.0
+        return out

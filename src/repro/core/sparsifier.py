@@ -15,6 +15,15 @@ Pipeline (Sec. 3.3 of the paper):
 The iterative densification (recompute criticality against the *current*
 subgraph instead of the initial tree) is the scheme of GRASS [7, 8]; the
 similarity exclusion is feGRASS's [13].
+
+Candidate scoring is delegated to the batched ranking engine
+(:mod:`repro.core.ranking`) and executed through the chunked worker
+pool (:mod:`repro.core.parallel`): rounds build a
+:class:`~repro.core.ranking.TreePhaseRanker` (round 1) or
+:class:`~repro.core.ranking.ApproxRanker` (rounds 2+) and shard the
+candidate list across ``config.workers`` processes.  A cross-round
+:class:`~repro.core.ranking.BallCache` keeps BFS balls warm, dropping
+only entries near edges recovered in the previous round.
 """
 
 from __future__ import annotations
@@ -23,9 +32,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.parallel import score_edges
+from repro.core.ranking import (
+    ApproxRanker,
+    BallCache,
+    ExactRanker,
+    TreePhaseRanker,
+)
 from repro.core.similarity import SimilarityMarker
-from repro.core.trace_reduction import approximate_trace_reduction
-from repro.core.tree_phase import tree_truncated_trace_reduction
 from repro.exceptions import GraphError
 from repro.graph.graph import Graph
 from repro.graph.laplacian import regularization_shift, regularized_laplacian
@@ -42,10 +56,55 @@ _TREE_METHODS = {
     "bfs": bfs_spanning_forest,
 }
 
+_RANKINGS = ("approx", "exact")
+
 
 @dataclass
 class SparsifierConfig:
-    """Knobs of Algorithm 2 (defaults follow the paper's experiments)."""
+    """Knobs of Algorithm 2 (defaults follow the paper's experiments).
+
+    Parameters
+    ----------
+    edge_fraction : float
+        Recovery budget ``alpha``: recover ``edge_fraction * |V|``
+        off-tree edges in total.
+    rounds : int
+        Number of densification rounds ``N_r``.
+    beta : int
+        BFS truncation depth of the criticality balls (Eq. 12).
+    delta : float
+        SPAI pruning threshold of Algorithm 1.
+    gamma : int
+        Similarity-exclusion ball radius (feGRASS marking).
+    tree_method : {"mewst", "max_weight", "bfs"}
+        Spanning-tree extractor used for the initial subgraph.
+    use_similarity : bool
+        Mark spectrally similar edges for exclusion when recovering.
+    reg_rel : float
+        Relative diagonal shift regularizing singular Laplacians
+        (footnote 1 of the paper).
+    cholesky_backend : str
+        Backend passed to :func:`repro.linalg.cholesky.cholesky`.
+    seed : int
+        Seed recorded for API symmetry with the randomized baselines
+        (Algorithm 2 itself is deterministic).
+    ranking : {"approx", "exact"}
+        Ranker used in the general (post-tree) rounds: the production
+        SPAI path (Eq. 20) or exact solves (Eq. 11, validation only).
+    workers : int
+        Worker processes for candidate scoring: ``1`` serial (default),
+        ``>1`` that many processes, ``0`` one per CPU.  Results are
+        bit-identical for every setting.
+    chunk_size : int
+        Candidates per scoring task; ``0`` (default) picks
+        :data:`repro.core.parallel.DEFAULT_CHUNK_SIZE`.  Results do not
+        depend on this value.
+    cache_max_nodes : int or None
+        Bound on the cross-round ball cache (entries ~ candidate
+        endpoints; each costs ~``ball_size * avg_degree`` ints).
+        ``None`` (default) caches every endpoint; results do not depend
+        on this value.
+    """
 
     edge_fraction: float = 0.10   # alpha = edge_fraction * |V| off-tree edges
     rounds: int = 5               # N_r
@@ -57,8 +116,13 @@ class SparsifierConfig:
     reg_rel: float = 1e-6         # footnote-1 diagonal shift, relative
     cholesky_backend: str = "auto"
     seed: int = 0
+    ranking: str = "approx"       # "approx" | "exact" general-round ranker
+    workers: int = 1              # scoring processes (0 = one per CPU)
+    chunk_size: int = 0           # candidates per scoring task (0 = auto)
+    cache_max_nodes: int | None = None  # ball-cache bound (None = unbounded)
 
     def validate(self) -> None:
+        """Raise :class:`~repro.exceptions.GraphError` on bad knobs."""
         if not 0.0 <= self.edge_fraction:
             raise GraphError("edge_fraction must be nonnegative")
         if self.rounds < 1:
@@ -70,11 +134,42 @@ class SparsifierConfig:
                 f"unknown tree_method {self.tree_method!r}; "
                 f"choose from {sorted(_TREE_METHODS)}"
             )
+        if self.ranking not in _RANKINGS:
+            raise GraphError(
+                f"unknown ranking {self.ranking!r}; "
+                f"choose from {sorted(_RANKINGS)}"
+            )
+        if self.workers < 0:
+            raise GraphError("workers must be >= 0 (0 = one per CPU)")
+        if self.chunk_size < 0:
+            raise GraphError("chunk_size must be >= 0 (0 = auto)")
+        if self.cache_max_nodes is not None and self.cache_max_nodes < 0:
+            raise GraphError("cache_max_nodes must be >= 0 or None")
 
 
 @dataclass
 class SparsifierResult:
-    """Outcome of a sparsification run."""
+    """Outcome of a sparsification run.
+
+    Attributes
+    ----------
+    graph : Graph
+        The original graph ``G``.
+    edge_mask : numpy.ndarray
+        Boolean mask over ``graph``'s edges; True = kept in ``P``.
+    tree_edge_ids : numpy.ndarray
+        Edge ids of the initial spanning tree/forest.
+    recovered_edge_ids : numpy.ndarray
+        Off-tree edges recovered by the densification rounds, in
+        recovery order.
+    config : SparsifierConfig
+        The configuration the run used.
+    setup_seconds : float
+        Wall-clock time of the whole sparsification.
+    rounds_log : list of dict
+        One entry per executed round: phase, candidate count, edges
+        added, trace reduction claimed, cache statistics and timing.
+    """
 
     graph: Graph
     edge_mask: np.ndarray          # True = edge kept in the sparsifier
@@ -123,8 +218,29 @@ def _pick_edges(order, criticality, marker, per_round, use_similarity):
 def trace_reduction_sparsify(graph: Graph, config=None, **overrides):
     """Run Algorithm 2 on *graph* and return a :class:`SparsifierResult`.
 
-    Either pass a :class:`SparsifierConfig` or keyword overrides, e.g.
-    ``trace_reduction_sparsify(g, edge_fraction=0.05, rounds=2)``.
+    Parameters
+    ----------
+    graph : Graph
+        The graph ``G`` to sparsify.
+    config : SparsifierConfig, optional
+        Full configuration object; mutually exclusive with keyword
+        overrides.
+    **overrides
+        :class:`SparsifierConfig` fields by keyword, e.g.
+        ``trace_reduction_sparsify(g, edge_fraction=0.05, rounds=2,
+        workers=4)``.
+
+    Returns
+    -------
+    SparsifierResult
+        The sparsifier ``P`` (tree + recovered edges) with per-round
+        diagnostics.  Output is deterministic and independent of the
+        ``workers`` / ``chunk_size`` knobs.
+
+    Raises
+    ------
+    repro.exceptions.GraphError
+        If both *config* and overrides are given, or a knob is invalid.
     """
     if config is None:
         config = SparsifierConfig(**overrides)
@@ -163,8 +279,10 @@ def _run(graph: Graph, config: SparsifierConfig) -> SparsifierResult:
         round_timer = Timer()
         with round_timer:
             candidates = np.flatnonzero(~edge_mask)
-            crit, candidates, _ = tree_truncated_trace_reduction(
-                graph, forest, edge_ids=candidates, beta=config.beta
+            ranker = TreePhaseRanker(graph, forest, beta=config.beta)
+            crit = score_edges(
+                ranker, candidates,
+                workers=config.workers, chunk_size=config.chunk_size,
             )
             full_crit = np.zeros(m)
             full_crit[candidates] = crit
@@ -186,7 +304,11 @@ def _run(graph: Graph, config: SparsifierConfig) -> SparsifierResult:
             }
         )
 
-        # Steps 11-23: iterative densification with Eq. (20).
+        # Steps 11-23: iterative densification with Eq. (20).  The ball
+        # cache outlives each round: only nodes near edges recovered in
+        # the previous round have their balls invalidated.
+        cache = BallCache(config.beta, max_entries=config.cache_max_nodes)
+        touched: np.ndarray | None = None
         for round_index in range(2, config.rounds + 1):
             if len(recovered) >= budget:
                 break
@@ -197,12 +319,27 @@ def _run(graph: Graph, config: SparsifierConfig) -> SparsifierResult:
                 factor = cholesky(
                     laplacian_s, backend=config.cholesky_backend
                 )
-                Z = sparse_approximate_inverse(factor.L, delta=config.delta)
                 candidates = np.flatnonzero(~edge_mask & ~marker.marked)
                 if len(candidates) == 0:
                     break
-                crit = approximate_trace_reduction(
-                    graph, subgraph, factor, Z, candidates, beta=config.beta
+                if config.ranking == "exact":
+                    Z = None
+                    ranker = ExactRanker(graph, factor.solve)
+                else:
+                    sub_indptr, sub_nbr, _ = subgraph.adjacency()
+                    cache.attach_subgraph(
+                        sub_indptr, sub_nbr, invalidate=touched
+                    )
+                    Z = sparse_approximate_inverse(
+                        factor.L, delta=config.delta
+                    )
+                    ranker = ApproxRanker(
+                        graph, subgraph, factor, Z,
+                        beta=config.beta, cache=cache,
+                    )
+                crit = score_edges(
+                    ranker, candidates,
+                    workers=config.workers, chunk_size=config.chunk_size,
                 )
                 full_crit = np.zeros(m)
                 full_crit[candidates] = crit
@@ -214,6 +351,9 @@ def _run(graph: Graph, config: SparsifierConfig) -> SparsifierResult:
                 )
                 edge_mask[chosen] = True
                 recovered.extend(chosen)
+                touched = np.unique(
+                    np.concatenate([graph.u[chosen], graph.v[chosen]])
+                ) if chosen else np.empty(0, dtype=np.int64)
             rounds_log.append(
                 {
                     "round": round_index,
@@ -221,8 +361,9 @@ def _run(graph: Graph, config: SparsifierConfig) -> SparsifierResult:
                     "candidates": len(candidates),
                     "added": len(chosen),
                     "trace_reduction": float(full_crit[chosen].sum()),
-                    "spai_nnz": int(Z.nnz),
+                    "spai_nnz": int(Z.nnz) if Z is not None else 0,
                     "factor_nnz": int(factor.nnz),
+                    "cached_balls": len(cache),
                     "seconds": round_timer.elapsed,
                 }
             )

@@ -32,20 +32,27 @@ __all__ = ["tree_truncated_trace_reduction"]
 
 
 def tree_truncated_trace_reduction(
-    graph: Graph, forest: RootedForest, edge_ids=None, beta: int = 5
+    graph: Graph, forest: RootedForest, edge_ids=None, beta: int = 5,
+    resistances=None,
 ):
     """Truncated trace reduction for off-tree edges (Eq. 15).
 
     Parameters
     ----------
-    graph:
+    graph : Graph
         The original graph ``G``.
-    forest:
+    forest : RootedForest
         Rooted spanning forest ``T`` (the initial subgraph).
-    edge_ids:
+    edge_ids : array_like of int, optional
         Candidate off-tree edge ids; defaults to every non-tree edge.
-    beta:
+    beta : int, optional
         BFS truncation depth (paper default 5).
+    resistances : array_like of float, optional
+        Precomputed tree effective resistances aligned with
+        *edge_ids*.  When scoring in chunks (the batched ranking
+        engine), computing them once for the whole candidate set avoids
+        repeating the offline-LCA DFS per chunk; omitted, they are
+        computed here.
 
     Returns
     -------
@@ -62,7 +69,12 @@ def tree_truncated_trace_reduction(
 
     heads = graph.u[edge_ids]
     tails = graph.v[edge_ids]
-    resistances, _ = batch_tree_resistances(forest, heads, tails)
+    if resistances is None:
+        resistances, _ = batch_tree_resistances(forest, heads, tails)
+    else:
+        resistances = np.asarray(resistances, dtype=np.float64)
+        if len(resistances) != len(edge_ids):
+            raise ValueError("resistances/edge_ids length mismatch")
     tin, tout = forest.euler_intervals()
     depth = forest.depth
 

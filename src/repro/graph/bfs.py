@@ -5,6 +5,15 @@ The truncated trace reduction (Eqs. 12, 15, 20 of the paper) needs a
 Because this runs once per off-subgraph edge, the :class:`BallFinder`
 keeps reusable "stamp" work arrays so a ball query allocates nothing of
 size ``n``.
+
+Two query families:
+
+* :meth:`BallFinder.ball` — the original per-node Python BFS that also
+  reports predecessors (required by the tree-phase potential
+  propagation, Eqs. 13-14);
+* :meth:`BallFinder.ball_nodes` / :meth:`BallFinder.balls` — vectorized
+  frontier expansion returning only the (sorted) node set, used by the
+  batched ranking engine where per-node Python loops would dominate.
 """
 
 from __future__ import annotations
@@ -84,6 +93,99 @@ class BallFinder:
         if edge_ids is None:
             return nodes, pred, None
         return nodes, pred, np.asarray(pred_eids, dtype=np.int64)
+
+    # Frontier size at which vectorized layer expansion overtakes the
+    # plain Python loop (numpy per-call overhead vs per-node work).
+    _VECTOR_FRONTIER = 32
+
+    def ball_nodes(self, source: int, layers: int) -> np.ndarray:
+        """Sorted node set within *layers* hops of *source* (no preds).
+
+        Adaptive frontier expansion: small frontiers walk a plain
+        Python loop (numpy call overhead would dominate), large ones
+        switch to one CSR gather per layer (``concat_ranges`` over the
+        frontier's adjacency ranges plus a stamp-filtered
+        ``np.unique``).  The batched rankers use this when predecessor
+        information is not needed.
+
+        Parameters
+        ----------
+        source : int
+            Ball center.
+        layers : int
+            BFS truncation depth (``beta`` in the paper).
+
+        Returns
+        -------
+        numpy.ndarray
+            Sorted ``int64`` array of the ball's nodes (``source``
+            included).
+        """
+        from repro.core._kernels import concat_ranges  # deferred: cycle
+
+        self._clock += 1
+        clock = self._clock
+        stamp = self._stamp
+        indptr = self.indptr
+        neighbors = self.neighbors
+        stamp[source] = clock
+        frontier: list | np.ndarray = [int(source)]
+        parts = [np.asarray(frontier, dtype=np.int64)]
+        for _ in range(layers):
+            if len(frontier) < self._VECTOR_FRONTIER:
+                fresh_list = []
+                for node in frontier:
+                    for k in range(indptr[node], indptr[node + 1]):
+                        nbr = int(neighbors[k])
+                        if stamp[nbr] != clock:
+                            stamp[nbr] = clock
+                            fresh_list.append(nbr)
+                if not fresh_list:
+                    break
+                frontier = fresh_list
+                parts.append(np.asarray(fresh_list, dtype=np.int64))
+            else:
+                frontier = np.asarray(frontier, dtype=np.int64)
+                starts = indptr[frontier]
+                lengths = indptr[frontier + 1] - starts
+                flat = concat_ranges(starts, lengths)
+                if len(flat) == 0:
+                    break
+                nbrs = neighbors[flat]
+                fresh = np.unique(nbrs[stamp[nbrs] != clock])
+                if len(fresh) == 0:
+                    break
+                stamp[fresh] = clock
+                parts.append(fresh)
+                frontier = fresh
+        if len(parts) == 1:
+            return parts[0]
+        return np.sort(np.concatenate(parts))
+
+    def balls(self, sources, layers: int) -> dict:
+        """Bulk :meth:`ball_nodes` for many sources.
+
+        The ranking engine's :class:`~repro.core.ranking.BallCache`
+        warms its per-round cache through this entry point.
+
+        Parameters
+        ----------
+        sources : array_like of int
+            Ball centers (duplicates are computed once).
+        layers : int
+            BFS truncation depth.
+
+        Returns
+        -------
+        dict
+            Maps each source node to its sorted ball-node array.
+        """
+        out = {}
+        for source in np.asarray(sources, dtype=np.int64):
+            source = int(source)
+            if source not in out:
+                out[source] = self.ball_nodes(source, layers)
+        return out
 
 
 def bfs_tree_order(indptr, neighbors, roots, n=None):

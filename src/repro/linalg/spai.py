@@ -27,7 +27,7 @@ import scipy.sparse as sp
 from repro.exceptions import FactorizationError
 from repro.utils.validation import check_square_sparse
 
-__all__ = ["sparse_approximate_inverse", "spai_nnz_profile"]
+__all__ = ["sparse_approximate_inverse", "spai_nnz_profile", "extract_columns"]
 
 
 def sparse_approximate_inverse(L, delta=0.1, keep_threshold=None):
@@ -120,6 +120,43 @@ def sparse_approximate_inverse(L, delta=0.1, keep_threshold=None):
     )
     Z.has_sorted_indices = True  # np.unique returns sorted indices
     return Z
+
+
+def extract_columns(Z, cols):
+    """Gather many columns of a CSC matrix in one vectorized pass.
+
+    The batched rankers need the SPAI columns of every candidate-edge
+    endpoint; slicing ``Z`` column by column costs one Python call per
+    endpoint.  This helper gathers all requested columns with a single
+    ``concat_ranges`` pass over ``Z.indptr``.
+
+    Parameters
+    ----------
+    Z : scipy.sparse.csc_matrix
+        Column-sparse matrix (e.g. the output of
+        :func:`sparse_approximate_inverse`).
+    cols : array_like of int
+        Column indices to extract (duplicates allowed).
+
+    Returns
+    -------
+    indptr : numpy.ndarray
+        ``int64`` offsets into *indices*/*data*; column ``cols[k]``
+        occupies ``[indptr[k], indptr[k + 1])``.
+    indices : numpy.ndarray
+        Row indices of the gathered entries (``int64``).
+    data : numpy.ndarray
+        Values of the gathered entries.
+    """
+    from repro.core._kernels import concat_ranges  # deferred: cycle
+
+    cols = np.asarray(cols, dtype=np.int64)
+    starts = Z.indptr[cols].astype(np.int64)
+    lengths = Z.indptr[cols + 1].astype(np.int64) - starts
+    flat = concat_ranges(starts, lengths)
+    indptr = np.zeros(len(cols) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    return indptr, Z.indices[flat].astype(np.int64), Z.data[flat]
 
 
 def spai_nnz_profile(L, deltas):

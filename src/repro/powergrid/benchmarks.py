@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import zlib
+
 import numpy as np
 
 from repro.graph.generators import grid2d
@@ -133,7 +135,8 @@ def make_pg_case(name: str, scale=None, seed: int = 0):
     spec = PG_CASE_REGISTRY[name]
     total = scaled_size(spec.base_nodes, scale)
     side = max(4, int(round(np.sqrt(total / 2))))
-    rng = as_rng(seed + (hash(name) % 1000))
+    # Deterministic per-case offset: hash() is salted per process.
+    rng = as_rng(seed + (zlib.crc32(name.encode()) % 1000))
 
     vdd = build_pg_plane(
         side, 1.8, rng, load_density=spec.load_density, load_sign=-1.0

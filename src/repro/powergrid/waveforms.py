@@ -42,7 +42,12 @@ class PulsePattern:
             raise SimulationError("rise/fall must be positive")
         if self.width < 0 or self.delay < 0:
             raise SimulationError("width/delay must be nonnegative")
-        if self.period < self.rise + self.width + self.fall:
+        pulse = self.rise + self.width + self.fall
+        # Relative tolerance: summing the segments in a different order
+        # (e.g. period = (rise + width + fall) * dt vs the sum of the
+        # scaled segments) differs by an ulp, and a zero-off-time pulse
+        # (period == pulse) is valid.
+        if self.period < pulse * (1.0 - 1e-9):
             raise SimulationError("period shorter than one pulse")
 
     def value(self, t: float) -> float:

@@ -5,7 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core._kernels import ball_pair_edge_sum, concat_ranges
+from repro.core._kernels import (
+    ball_pair_edge_sum,
+    ball_pair_edge_sum_flat,
+    concat_ranges,
+)
 from repro.graph import Graph
 
 
@@ -28,6 +32,34 @@ class TestConcatRanges:
 
     def test_all_zero_lengths(self):
         assert len(concat_ranges(np.array([1, 2]), np.array([0, 0]))) == 0
+
+    def test_all_empty_ranges_regression(self):
+        """All-zero lengths early-return before any cum[-1] path.
+
+        Pins down the defensive restructure (total-length check first):
+        the old filter-then-check path also handled this, but the guard
+        keeps any future edit from reordering the empty check after the
+        cumsum indexing.  The empty result must carry the right dtype
+        so downstream fancy indexing keeps working.
+        """
+        out = concat_ranges(np.arange(100), np.zeros(100, dtype=np.int64))
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+        # An isolated node's adjacency range is the canonical producer
+        # of the all-empty case: indexing with the result must not raise.
+        assert len(np.arange(10)[out]) == 0
+
+    def test_empty_input_arrays(self):
+        out = concat_ranges(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    def test_negative_lengths_dropped(self):
+        """Negative lengths are treated as empty ranges, not corruption."""
+        out = concat_ranges(np.array([0, 5, 9]), np.array([3, -1, 2]))
+        np.testing.assert_array_equal(out, [0, 1, 2, 9, 10])
 
     @given(
         st.lists(
@@ -93,3 +125,23 @@ class TestBallPairEdgeSum:
 
     def test_empty_ball(self, graph):
         assert self._sum(graph, [], [0, 1], np.zeros(4)) == 0.0
+
+    def test_flat_variant_matches(self, graph):
+        """ball_pair_edge_sum == its pre-flattened twin on cached input."""
+        rng = np.random.default_rng(1)
+        values = rng.standard_normal(4)
+        indptr, nbr, eid = graph.adjacency()
+        ball_p = np.array([0, 1], dtype=np.int64)
+        stamp = np.zeros(graph.n, dtype=np.int64)
+        stamp[[1, 2]] = 1
+        expected = ball_pair_edge_sum(
+            indptr, nbr, eid, graph.w, ball_p, stamp, 1, values
+        )
+        starts = indptr[ball_p]
+        lengths = indptr[ball_p + 1] - starts
+        flat = concat_ranges(starts, lengths)
+        got = ball_pair_edge_sum_flat(
+            np.repeat(ball_p, lengths), nbr[flat], eid[flat],
+            graph.w, stamp, 1, values,
+        )
+        assert got == expected

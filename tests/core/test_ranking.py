@@ -1,0 +1,252 @@
+"""Tests for the batched edge-ranking engine (repro.core.ranking)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ApproxRanker,
+    BallCache,
+    EdgeRanker,
+    ExactRanker,
+    TreePhaseRanker,
+    approximate_trace_reduction,
+    exact_trace_reduction_batch,
+    tree_truncated_trace_reduction,
+)
+from repro.graph import (
+    grid2d,
+    regularization_shift,
+    regularized_laplacian,
+    triangular_mesh,
+)
+from repro.linalg import cholesky, sparse_approximate_inverse
+from repro.tree import RootedForest, mewst
+
+
+def _attached_cache(graph, subgraph, beta, max_entries=None):
+    cache = BallCache(beta, max_entries=max_entries)
+    indptr, nbr, _ = subgraph.adjacency()
+    cache.attach_subgraph(indptr, nbr)
+    return cache
+
+
+def _setting(graph, extra_edges=0, beta=5, delta=0.1):
+    """Tree(+extra)-subgraph ranking setting for *graph*."""
+    shift = regularization_shift(graph)
+    forest = RootedForest(graph, mewst(graph))
+    mask = forest.tree_edge_mask()
+    off = np.flatnonzero(~mask)
+    if extra_edges:
+        mask = mask.copy()
+        mask[off[:extra_edges]] = True
+        off = off[extra_edges:]
+    subgraph = graph.subgraph(mask)
+    factor = cholesky(regularized_laplacian(subgraph, shift))
+    Z = sparse_approximate_inverse(factor.L, delta=delta)
+    return forest, subgraph, factor, Z, off, shift
+
+
+class TestProtocol:
+    def test_rankers_satisfy_protocol(self, small_grid):
+        forest, subgraph, factor, Z, off, shift = _setting(small_grid)
+        assert isinstance(TreePhaseRanker(small_grid, forest), EdgeRanker)
+        assert isinstance(
+            ApproxRanker(small_grid, subgraph, factor, Z), EdgeRanker
+        )
+        assert isinstance(
+            ExactRanker(small_grid, factor.solve), EdgeRanker
+        )
+
+
+class TestTreePhaseRanker:
+    def test_matches_reference(self, small_mesh):
+        forest, *_ = _setting(small_mesh)
+        off = np.flatnonzero(~forest.tree_edge_mask())
+        ranker = TreePhaseRanker(small_mesh, forest, beta=4)
+        expected, _, _ = tree_truncated_trace_reduction(
+            small_mesh, forest, edge_ids=off, beta=4
+        )
+        assert np.array_equal(ranker.score_batch(off), expected)
+
+    def test_chunk_stable(self, small_grid):
+        forest, *_ = _setting(small_grid)
+        off = np.flatnonzero(~forest.tree_edge_mask())
+        ranker = TreePhaseRanker(small_grid, forest, beta=3)
+        whole = ranker.score_batch(off)
+        pieces = np.concatenate(
+            [ranker.score_batch(off[k : k + 5]) for k in range(0, len(off), 5)]
+        )
+        assert np.array_equal(whole, pieces)
+
+
+class TestExactRanker:
+    def test_matches_reference(self, small_grid):
+        forest, subgraph, factor, Z, off, shift = _setting(small_grid)
+        ranker = ExactRanker(small_grid, factor.solve)
+        expected = exact_trace_reduction_batch(
+            small_grid, factor.solve, off
+        )
+        assert np.array_equal(ranker.score_batch(off), expected)
+
+    def test_from_subgraph(self, small_grid):
+        forest, subgraph, factor, Z, off, shift = _setting(small_grid)
+        ranker = ExactRanker.from_subgraph(small_grid, subgraph, shift)
+        expected = exact_trace_reduction_batch(
+            small_grid, factor.solve, off[:10]
+        )
+        np.testing.assert_allclose(
+            ranker.score_batch(off[:10]), expected, rtol=1e-9
+        )
+
+
+class TestApproxRanker:
+    def test_matches_reference_bitwise(self, small_mesh):
+        forest, subgraph, factor, Z, off, _ = _setting(
+            small_mesh, extra_edges=10
+        )
+        expected = approximate_trace_reduction(
+            small_mesh, subgraph, factor, Z, off, beta=5
+        )
+        ranker = ApproxRanker(small_mesh, subgraph, factor, Z, beta=5)
+        assert np.array_equal(ranker.score_batch(off), expected)
+
+    def test_chunk_stable(self, small_mesh):
+        forest, subgraph, factor, Z, off, _ = _setting(small_mesh)
+        ranker = ApproxRanker(small_mesh, subgraph, factor, Z, beta=5)
+        whole = ranker.score_batch(off)
+        pieces = np.concatenate(
+            [ranker.score_batch(off[k : k + 7]) for k in range(0, len(off), 7)]
+        )
+        assert np.array_equal(whole, pieces)
+
+    def test_empty_batch(self, small_grid):
+        forest, subgraph, factor, Z, off, _ = _setting(small_grid)
+        ranker = ApproxRanker(small_grid, subgraph, factor, Z)
+        assert len(ranker.score_batch(np.empty(0, dtype=np.int64))) == 0
+
+    def test_prepare_is_idempotent(self, small_grid):
+        forest, subgraph, factor, Z, off, _ = _setting(small_grid)
+        ranker = ApproxRanker(small_grid, subgraph, factor, Z)
+        ranker.prepare(off)
+        cached = len(ranker.cache)
+        ranker.prepare(off)
+        assert len(ranker.cache) == cached
+        expected = approximate_trace_reduction(
+            small_grid, subgraph, factor, Z, off, beta=5
+        )
+        assert np.array_equal(ranker.score_batch(off), expected)
+
+    def test_beta_mismatch_rejected(self, small_grid):
+        forest, subgraph, factor, Z, off, _ = _setting(small_grid)
+        with pytest.raises(ValueError, match="radius"):
+            ApproxRanker(
+                small_grid, subgraph, factor, Z, beta=5, cache=BallCache(3)
+            )
+
+    @given(seed=st.integers(0, 2**16), nodes=st.integers(60, 160))
+    @settings(max_examples=8, deadline=None)
+    def test_property_matches_looped_reference(self, seed, nodes):
+        """score_batch == per-edge approximate_trace_reduction to 1e-12."""
+        graph = triangular_mesh(nodes, shape="disk", weights="smooth",
+                                seed=seed)
+        forest, subgraph, factor, Z, off, _ = _setting(graph, beta=3)
+        ranker = ApproxRanker(graph, subgraph, factor, Z, beta=3)
+        got = ranker.score_batch(off)
+        looped = np.array([
+            float(
+                approximate_trace_reduction(
+                    graph, subgraph, factor, Z, [edge], beta=3
+                )[0]
+            )
+            for edge in off
+        ])
+        np.testing.assert_allclose(got, looped, rtol=1e-12, atol=1e-14)
+
+
+class TestBallCache:
+    def test_requires_attachment(self):
+        cache = BallCache(2)
+        with pytest.raises(RuntimeError):
+            cache.ball(0)
+        with pytest.raises(RuntimeError):
+            cache.ensure([0])
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            BallCache(0)
+
+    def test_balls_match_finder(self, small_grid):
+        from repro.graph.bfs import BallFinder
+
+        indptr, nbr, _ = small_grid.adjacency()
+        cache = BallCache(2)
+        cache.attach_subgraph(indptr, nbr)
+        finder = BallFinder(indptr, nbr)
+        for node in (0, 17, 63):
+            expected = np.sort(finder.ball(node, 2)[0])
+            assert np.array_equal(cache.ball(node), expected)
+
+    def test_capacity_bound_does_not_change_scores(self, small_mesh):
+        """At max_entries the cache stops storing but stays correct."""
+        forest, subgraph, factor, Z, off, _ = _setting(small_mesh)
+        unbounded = ApproxRanker(small_mesh, subgraph, factor, Z, beta=5)
+        expected = unbounded.score_batch(off)
+        capped = ApproxRanker(
+            small_mesh, subgraph, factor, Z, beta=5,
+            cache=_attached_cache(small_mesh, subgraph, beta=5, max_entries=5),
+        )
+        got = capped.score_batch(off)
+        assert np.array_equal(got, expected)
+        assert len(capped.cache) <= 5
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            BallCache(2, max_entries=-1)
+
+    def test_invalidation_matches_fresh_cache(self, small_mesh):
+        """Scores after advance(invalidate=touched) == fresh-cache scores.
+
+        This is the caching/invalidation contract the sparsifier relies
+        on: recovering edges and invalidating only the touched
+        neighborhoods must reproduce exactly what a cold cache computes
+        against the new subgraph.
+        """
+        graph = small_mesh
+        shift = regularization_shift(graph)
+        forest = RootedForest(graph, mewst(graph))
+        mask = forest.tree_edge_mask().copy()
+        off = np.flatnonzero(~mask)
+        beta = 4
+
+        cache = BallCache(beta)
+        sub1 = graph.subgraph(mask)
+        f1 = cholesky(regularized_laplacian(sub1, shift))
+        Z1 = sparse_approximate_inverse(f1.L, delta=0.1)
+        indptr1, nbr1, _ = sub1.adjacency()
+        cache.attach_subgraph(indptr1, nbr1)
+        ranker1 = ApproxRanker(graph, sub1, f1, Z1, beta=beta, cache=cache)
+        ranker1.score_batch(off)
+        warm_entries = len(cache)
+        assert warm_entries > 0
+
+        # "Recover" a handful of edges, as a densification round would.
+        recovered = off[:: max(1, len(off) // 6)][:6]
+        mask[recovered] = True
+        touched = np.unique(
+            np.concatenate([graph.u[recovered], graph.v[recovered]])
+        )
+        remaining = np.flatnonzero(~mask)
+
+        sub2 = graph.subgraph(mask)
+        f2 = cholesky(regularized_laplacian(sub2, shift))
+        Z2 = sparse_approximate_inverse(f2.L, delta=0.1)
+        indptr2, nbr2, _ = sub2.adjacency()
+        cache.attach_subgraph(indptr2, nbr2, invalidate=touched)
+        assert len(cache) < warm_entries  # something was dropped
+        warm = ApproxRanker(graph, sub2, f2, Z2, beta=beta, cache=cache)
+        cold = ApproxRanker(graph, sub2, f2, Z2, beta=beta)
+        assert np.array_equal(
+            warm.score_batch(remaining), cold.score_batch(remaining)
+        )

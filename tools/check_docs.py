@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Execute every runnable code block in the given markdown files.
+
+``make docs-check`` runs this over ``README.md`` and
+``docs/architecture.md`` so documentation that drifts from the code
+fails CI instead of misleading readers — the doctest idea applied to
+fenced blocks.
+
+Rules
+-----
+* ```` ```python ```` blocks run through ``python -`` (stdin);
+* ```` ```bash ```` / ```` ```sh ```` blocks run through
+  ``bash -euo pipefail``;
+* any other language tag (``text``, ``Makefile``, …) is skipped;
+* a block preceded by an HTML comment ``<!-- docs-check: skip -->``
+  is skipped.
+
+Every block runs from the repository root with ``src`` prepended to
+``PYTHONPATH``, mirroring the instructions the README gives readers.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FENCE = re.compile(r"^```(\w*)\s*$")
+SKIP_MARK = "<!-- docs-check: skip -->"
+
+RUNNERS = {
+    "python": [sys.executable, "-"],
+    "bash": ["bash", "-euo", "pipefail", "-s"],
+    "sh": ["bash", "-euo", "pipefail", "-s"],
+}
+
+
+def extract_blocks(text: str):
+    """Yield ``(language, start_line, source)`` for each fenced block."""
+    lines = text.splitlines()
+    k = 0
+    skip_next = False
+    while k < len(lines):
+        if SKIP_MARK in lines[k]:
+            skip_next = True
+            k += 1
+            continue
+        match = FENCE.match(lines[k])
+        if not match:
+            if lines[k].strip():
+                # The marker only applies to the immediately following
+                # fence; any intervening prose cancels it.
+                skip_next = False
+            k += 1
+            continue
+        language = match.group(1).lower()
+        start = k + 1
+        body = []
+        k += 1
+        while k < len(lines) and not lines[k].startswith("```"):
+            body.append(lines[k])
+            k += 1
+        k += 1  # closing fence
+        if skip_next:
+            skip_next = False
+            continue
+        yield language, start, "\n".join(body) + "\n"
+
+
+def run_block(language: str, source: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return subprocess.run(
+        RUNNERS[language],
+        input=source,
+        text=True,
+        capture_output=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=600,
+    )
+
+
+def main(argv) -> int:
+    if not argv:
+        argv = ["README.md", "docs/architecture.md"]
+    failures = 0
+    total = 0
+    for name in argv:
+        path = REPO_ROOT / name
+        text = path.read_text()
+        for language, line, source in extract_blocks(text):
+            if language not in RUNNERS:
+                continue
+            total += 1
+            proc = run_block(language, source)
+            label = f"{name}:{line} [{language}]"
+            if proc.returncode == 0:
+                print(f"ok    {label}")
+            else:
+                failures += 1
+                print(f"FAIL  {label} (exit {proc.returncode})")
+                sys.stdout.write(proc.stdout)
+                sys.stderr.write(proc.stderr)
+    print(f"docs-check: {total - failures}/{total} runnable blocks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
