@@ -19,4 +19,5 @@ bench-smoke:
 # Execute every runnable code block in the documentation; fails when a
 # documented command stops working.
 docs-check:
-	$(PYTHONPATH_PREFIX) $(PYTHON) tools/check_docs.py README.md docs/architecture.md
+	$(PYTHONPATH_PREFIX) $(PYTHON) tools/check_docs.py README.md \
+		docs/architecture.md docs/migration.md

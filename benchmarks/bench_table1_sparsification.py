@@ -16,11 +16,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import evaluate_sparsifier, grass_sparsify, trace_reduction_sparsify
+from repro.api import RunRecord, sparsify
+from repro.core import evaluate_sparsifier
 from repro.graph import make_case
 from repro.utils.reporting import Table, format_count
+from repro.utils.timers import Timer
 
-from conftest import emit, run_once
+from conftest import emit, emit_records, run_once
 
 CASES = [
     "ecology2",
@@ -48,12 +50,43 @@ KAPPA_EXCEPTIONS = {"parabolic"}
 
 _graphs: dict = {}
 _rows: dict = {}
+_records: list = []
 
 
 def _graph(name, scale):
     if name not in _graphs:
         _graphs[name] = make_case(name, scale=scale, seed=0)
     return _graphs[name]
+
+
+def _bench_method(benchmark, name, scale, method):
+    """One (case, method) cell: cold run + quality, logged as a RunRecord."""
+    graph, _ = _graph(name, scale)
+    result = run_once(
+        benchmark,
+        lambda: sparsify(
+            graph, method=method, edge_fraction=EDGE_FRACTION,
+            rounds=ROUNDS, seed=1,
+        ),
+    )
+    timer = Timer()
+    with timer:
+        quality = evaluate_sparsifier(
+            graph, result.sparsifier, rtol=PCG_RTOL, seed=2
+        )
+    _records.append(RunRecord.from_result(
+        result, method=method, label=name,
+        quality=quality, evaluate_seconds=timer.elapsed,
+    ))
+    row = _rows.setdefault(name, {"n": graph.n, "m": graph.edge_count})
+    row[method] = {
+        "Ts": result.setup_seconds,
+        "kappa": quality.kappa,
+        "Ni": quality.pcg_iterations,
+        "Ti": quality.pcg_seconds,
+        "edges": quality.sparsifier_edges,
+    }
+    return row, quality
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -87,46 +120,19 @@ def report():
          f"{np.mean(kappa_ratios):.1f}X", f"{np.mean(time_ratios):.1f}X"]
     )
     emit("table1_sparsification", table.render())
+    # Machine-readable trajectory: every (case, method) run as a
+    # RunRecord so commits can be diffed on kappa/Ni/Ts by tooling.
+    emit_records("BENCH_table1", _records)
 
 
 @pytest.mark.parametrize("name", CASES)
 def test_grass_sparsification(benchmark, name, scale):
-    graph, spec = _graph(name, scale)
-    result = run_once(
-        benchmark,
-        lambda: grass_sparsify(
-            graph, edge_fraction=EDGE_FRACTION, rounds=ROUNDS, seed=1
-        ),
-    )
-    quality = evaluate_sparsifier(graph, result.sparsifier, rtol=PCG_RTOL, seed=2)
-    row = _rows.setdefault(name, {"n": graph.n, "m": graph.edge_count})
-    row["grass"] = {
-        "Ts": result.setup_seconds,
-        "kappa": quality.kappa,
-        "Ni": quality.pcg_iterations,
-        "Ti": quality.pcg_seconds,
-        "edges": quality.sparsifier_edges,
-    }
+    _bench_method(benchmark, name, scale, "grass")
 
 
 @pytest.mark.parametrize("name", CASES)
 def test_proposed_sparsification(benchmark, name, scale):
-    graph, spec = _graph(name, scale)
-    result = run_once(
-        benchmark,
-        lambda: trace_reduction_sparsify(
-            graph, edge_fraction=EDGE_FRACTION, rounds=ROUNDS, seed=1
-        ),
-    )
-    quality = evaluate_sparsifier(graph, result.sparsifier, rtol=PCG_RTOL, seed=2)
-    row = _rows.setdefault(name, {"n": graph.n, "m": graph.edge_count})
-    row["proposed"] = {
-        "Ts": result.setup_seconds,
-        "kappa": quality.kappa,
-        "Ni": quality.pcg_iterations,
-        "Ti": quality.pcg_seconds,
-        "edges": quality.sparsifier_edges,
-    }
+    row, quality = _bench_method(benchmark, name, scale, "proposed")
     # Shape assertions against the paper (both methods must have run).
     if "grass" in row:
         assert row["proposed"]["edges"] == row["grass"]["edges"]

@@ -18,10 +18,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import grass_sparsify, trace_reduction_sparsify
-from repro.graph import make_case, regularization_shift, regularized_laplacian
-from repro.linalg import cholesky
+from repro.graph import make_case
 from repro.partitioning import (
+    build_partition_preconditioner,
     fiedler_vector,
     partition_relative_error,
     spectral_bipartition,
@@ -47,16 +46,10 @@ def _graph(name, scale):
 
 
 def _preconditioner(graph, method):
-    if method == "proposed":
-        result = trace_reduction_sparsify(
-            graph, edge_fraction=EDGE_FRACTION, rounds=5, seed=1
-        )
-    else:
-        result = grass_sparsify(
-            graph, edge_fraction=EDGE_FRACTION, rounds=5, seed=1
-        )
-    shift = regularization_shift(graph)
-    return cholesky(regularized_laplacian(result.sparsifier, shift))
+    factor, _ = build_partition_preconditioner(
+        graph, method=method, edge_fraction=EDGE_FRACTION, rounds=5, seed=1
+    )
+    return factor
 
 
 @pytest.fixture(scope="module", autouse=True)

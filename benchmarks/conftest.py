@@ -14,12 +14,14 @@ case, a laptop-friendly shrink of the paper's 0.5-9M).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def emit(name: str, text: str) -> None:
@@ -28,6 +30,22 @@ def emit(name: str, text: str) -> None:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_records(name: str, records: list) -> None:
+    """Persist RunRecords as ``<repo>/<name>.json``.
+
+    ``BENCH_*.json`` files at the repository root are the
+    machine-readable performance trajectory: each benchmark run
+    overwrites its file, and version control carries the history.
+    """
+    payload = [
+        record.to_dict() if hasattr(record, "to_dict") else record
+        for record in records
+    ]
+    path = REPO_ROOT / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(payload)} run records to {path}")
 
 
 @pytest.fixture(scope="session")

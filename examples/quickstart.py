@@ -1,19 +1,16 @@
 """Quickstart: sparsify a graph and measure what you gained.
 
-Builds a weighted 2-D grid, runs the trace-reduction sparsifier
-(Algorithm 2 of the DAC'22 paper), and compares the sparsifier against
-the GRASS baseline on the two metrics that matter for preconditioning:
+Builds a weighted 2-D grid and compares the trace-reduction sparsifier
+(Algorithm 2 of the DAC'22 paper) against the GRASS baseline through
+the unified API: one `SparsifierSession` runs both methods (sharing
+the spanning tree and other artifacts) and emits machine-readable
+`RunRecord`s with the two metrics that matter for preconditioning —
 the relative condition number kappa(L_G, L_P) and PCG iteration count.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    evaluate_sparsifier,
-    grass_sparsify,
-    grid2d,
-    trace_reduction_sparsify,
-)
+from repro import RunRecord, SparsifierSession, grid2d
 
 
 def main() -> None:
@@ -21,28 +18,35 @@ def main() -> None:
     graph = grid2d(100, 100, weights="uniform", seed=0)
     print(f"graph: {graph.n} nodes, {graph.edge_count} edges")
 
-    # Recover 10% |V| off-tree edges over 5 densification rounds —
-    # the paper's standard setting.
-    proposed = trace_reduction_sparsify(
-        graph, edge_fraction=0.10, rounds=5, seed=1
-    )
-    grass = grass_sparsify(graph, edge_fraction=0.10, rounds=5, seed=1)
+    # Recover 10% |V| off-tree edges; 5 densification rounds for the
+    # iterative methods — the paper's standard setting.
+    session = SparsifierSession(graph, label="grid100")
+    records = [
+        session.run(method, edge_fraction=0.10, rounds=5, seed=1)
+        for method in ("proposed", "grass")
+    ]
 
-    for label, result in (("proposed", proposed), ("GRASS", grass)):
-        quality = evaluate_sparsifier(graph, result.sparsifier, rtol=1e-3)
+    for record in records:
+        quality = record.quality
         print(
-            f"{label:>9}: {quality.sparsifier_edges} edges, "
-            f"kappa = {quality.kappa:7.1f}, "
-            f"PCG iterations = {quality.pcg_iterations}, "
-            f"sparsify time = {result.setup_seconds:.2f} s"
+            f"{record.method:>9}: {record.graph['sparsifier_edges']} edges, "
+            f"kappa = {quality['kappa']:7.1f}, "
+            f"PCG iterations = {quality['pcg_iterations']}, "
+            f"sparsify time = {record.timings['sparsify_seconds']:.2f} s"
         )
 
-    q_prop = evaluate_sparsifier(graph, proposed.sparsifier)
-    q_grass = evaluate_sparsifier(graph, grass.sparsifier)
+    proposed, grass = records
     print(
-        f"\nkappa reduction vs GRASS: {q_grass.kappa / q_prop.kappa:.2f}X "
+        f"\nkappa reduction vs GRASS: "
+        f"{grass.quality['kappa'] / proposed.quality['kappa']:.2f}X "
         f"(paper reports 1.1-4.8X on the full-scale cases)"
     )
+    stats = session.stats()
+    print(f"artifacts shared between the two runs: "
+          f"{sorted(stats['hits'])} ({sum(stats['hits'].values())} hits)")
+
+    # Every run serializes losslessly for later analysis.
+    assert RunRecord.from_json(proposed.to_json()) == proposed
 
 
 if __name__ == "__main__":

@@ -8,12 +8,18 @@ pipeline.
 
 Quick start::
 
-    from repro import grid2d, trace_reduction_sparsify, evaluate_sparsifier
+    from repro import grid2d, sparsify, evaluate_sparsifier
 
     graph = grid2d(100, 100, seed=0)
-    result = trace_reduction_sparsify(graph, edge_fraction=0.10, rounds=5)
+    result = sparsify(graph, method="proposed", edge_fraction=0.10, rounds=5)
     report = evaluate_sparsifier(graph, result.sparsifier)
     print(report.kappa, report.pcg_iterations)
+
+``sparsify`` dispatches through the method registry (``"proposed"``,
+``"grass"``, ``"fegrass"``, ``"er_sampling"``); sweeping many settings
+over one graph goes through :class:`repro.SparsifierSession`, which
+reuses the expensive shared artifacts and emits machine-readable
+:class:`repro.RunRecord` objects.
 """
 
 from repro.graph import (
@@ -47,6 +53,8 @@ from repro.linalg import (
 )
 from repro.core import (
     trace_reduction_sparsify,
+    ArtifactStore,
+    BaseSparsifierConfig,
     SparsifierConfig,
     SparsifierResult,
     EdgeRanker,
@@ -59,6 +67,9 @@ from repro.core import (
     grass_sparsify,
     GrassConfig,
     fegrass_sparsify,
+    FegrassConfig,
+    er_sample_sparsify,
+    ErSamplingConfig,
     exact_trace_reduction,
     approximate_trace_reduction,
     tree_truncated_trace_reduction,
@@ -67,8 +78,18 @@ from repro.core import (
     pcg_performance,
     QualityReport,
 )
+from repro.api import (
+    MethodSpec,
+    register_sparsifier,
+    get_method,
+    list_methods,
+    sparsifier_methods,
+    RunRecord,
+    SparsifierSession,
+    sparsify,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Graph",
@@ -95,6 +116,8 @@ __all__ = [
     "PCGResult",
     "relative_condition_number",
     "trace_reduction_sparsify",
+    "ArtifactStore",
+    "BaseSparsifierConfig",
     "SparsifierConfig",
     "SparsifierResult",
     "EdgeRanker",
@@ -107,6 +130,9 @@ __all__ = [
     "grass_sparsify",
     "GrassConfig",
     "fegrass_sparsify",
+    "FegrassConfig",
+    "er_sample_sparsify",
+    "ErSamplingConfig",
     "exact_trace_reduction",
     "approximate_trace_reduction",
     "tree_truncated_trace_reduction",
@@ -114,5 +140,13 @@ __all__ = [
     "evaluate_sparsifier",
     "pcg_performance",
     "QualityReport",
+    "MethodSpec",
+    "register_sparsifier",
+    "get_method",
+    "list_methods",
+    "sparsifier_methods",
+    "RunRecord",
+    "SparsifierSession",
+    "sparsify",
     "__version__",
 ]

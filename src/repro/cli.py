@@ -1,48 +1,57 @@
 """Command-line interface: run the paper's experiments from a shell.
 
+The interface is generated from the sparsifier method registry
+(:mod:`repro.api`): every option of every registered config dataclass
+becomes a flag, and passing a flag the chosen method does not accept is
+a hard error (never a silent no-op).
+
 Examples
 --------
-List the available cases::
+List the available cases and methods::
 
-    python -m repro.cli cases
+    repro cases
+    repro methods
+
+(``repro`` is the installed console script; ``python -m repro.cli``
+works from a plain checkout.)
 
 Sparsify a named case (or a Matrix Market file) and report quality::
 
-    python -m repro.cli sparsify --case ecology2 --fraction 0.10
-    python -m repro.cli sparsify --mtx my_matrix.mtx --method grass
+    repro sparsify --case ecology2 --fraction 0.10
+    repro sparsify --mtx my_matrix.mtx --method grass --rounds 3
+    repro sparsify --case ecology2 --json   # machine-readable RunRecord
+
+Sweep methods and fractions over one graph through a
+:class:`~repro.api.SparsifierSession` (shared artifacts are derived
+once)::
+
+    repro sweep --case ecology2 --methods proposed,grass \
+        --fractions 0.05,0.10 --output sweep.json
 
 Candidate scoring can be sharded across worker processes; the result is
 bit-identical to the serial run (``--workers 0`` means one per CPU)::
 
-    python -m repro.cli sparsify --case ecology2 --workers 4 --chunk-size 2048
+    repro sparsify --case ecology2 --workers 4 --chunk-size 2048
 
-Power-grid transient comparison (Table 2, one case)::
+Power-grid transient comparison (Table 2) and spectral partitioning
+comparison (Table 3), both accepting any registered ``--method``::
 
-    python -m repro.cli transient --case ibmpg3t --scale 0.25
-
-Spectral partitioning comparison (Table 3, one case)::
-
-    python -m repro.cli partition --case tmt_sym --scale 0.25
+    repro transient --case ibmpg3t --scale 0.25
+    repro partition --case tmt_sym --scale 0.25 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-import numpy as np
-
-from repro.core import (
-    er_sample_sparsify,
-    evaluate_sparsifier,
-    fegrass_sparsify,
-    grass_sparsify,
-    trace_reduction_sparsify,
-)
+from repro.api import RunRecord, SparsifierSession, get_method, list_methods
+from repro.api import sparsify as api_sparsify
+from repro.exceptions import ReproError
 from repro.graph import CASE_REGISTRY, make_case, read_graph_mtx
-from repro.graph.laplacian import regularization_shift, regularized_laplacian
-from repro.linalg import cholesky
 from repro.partitioning import (
+    build_partition_preconditioner,
     fiedler_vector,
     partition_relative_error,
     spectral_bipartition,
@@ -55,32 +64,87 @@ from repro.powergrid import (
     simulate_transient_pcg,
 )
 from repro.powergrid.transient import max_probe_difference
-from repro.utils.reporting import Table, format_bytes
+from repro.utils.reporting import Table, format_bytes, format_seconds
 
-def _run_proposed(graph, args):
-    """Algorithm 2 with the batched ranking engine knobs threaded in."""
-    return trace_reduction_sparsify(
-        graph,
-        edge_fraction=args.fraction,
-        rounds=args.rounds,
-        seed=args.seed,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
+# Sentinel distinguishing "flag not given" from any real value, so only
+# user-provided options reach the method config (and inapplicable ones
+# can be rejected instead of silently ignored).
+_UNSET = object()
+
+# CLI spelling of config fields that predates the registry.
+_FLAG_ALIASES = {"edge_fraction": "fraction"}
+
+
+def _flag_for(option: str) -> str:
+    return "--" + _FLAG_ALIASES.get(option, option).replace("_", "-")
+
+
+def _method_option_table() -> dict:
+    """Merge the option specs of every registered method.
+
+    Returns ``{option_name: (OptionSpec, [method, ...])}`` — the single
+    source of truth the ``sparsify`` / ``sweep`` / ``transient`` /
+    ``partition`` flags are generated from.
+    """
+    merged: dict = {}
+    for name in list_methods():
+        for opt_name, opt in get_method(name).options().items():
+            entry = merged.setdefault(opt_name, (opt, []))
+            entry[1].append(name)
+    return merged
+
+
+def _add_method_flags(parser, skip=()) -> None:
+    """Generate one flag per registered config field."""
+    group = parser.add_argument_group(
+        "method options",
+        "generated from the registered config dataclasses; flags the "
+        "chosen --method does not accept are rejected",
     )
+    for opt_name, (opt, methods) in sorted(_method_option_table().items()):
+        if opt_name in skip:
+            continue
+        help_text = f"[{', '.join(methods)}] default {opt.default!r}"
+        kwargs = dict(default=_UNSET, dest=f"opt_{opt_name}", help=help_text)
+        if opt.type is bool:
+            group.add_argument(
+                _flag_for(opt_name), action=argparse.BooleanOptionalAction,
+                **kwargs,
+            )
+        else:
+            group.add_argument(_flag_for(opt_name), type=opt.type, **kwargs)
 
 
-_SPARSIFIERS = {
-    "proposed": _run_proposed,
-    "grass": lambda g, args: grass_sparsify(
-        g, edge_fraction=args.fraction, rounds=args.rounds, seed=args.seed
-    ),
-    "fegrass": lambda g, args: fegrass_sparsify(
-        g, edge_fraction=args.fraction, seed=args.seed
-    ),
-    "er_sampling": lambda g, args: er_sample_sparsify(
-        g, edge_fraction=args.fraction, seed=args.seed
-    ),
-}
+def _provided_options(args, methods=None) -> dict:
+    """Options the user actually passed, keyed by config field name.
+
+    When *methods* is given, every method's config is test-built right
+    away so inapplicable flags fail fast — before graphs are loaded or
+    direct reference solutions are computed.
+    """
+    options = {
+        name[len("opt_"):]: value
+        for name, value in vars(args).items()
+        if name.startswith("opt_") and value is not _UNSET
+    }
+    for method in methods or ():
+        get_method(method).make_config(**options)
+    return options
+
+
+def _add_graph_source(parser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--case", choices=sorted(CASE_REGISTRY))
+    source.add_argument("--mtx", help="Matrix Market file to load")
+    parser.add_argument("--scale", type=float, default=None)
+
+
+def _load_graph(args, seed: int):
+    if args.case:
+        graph, spec = make_case(args.case, scale=args.scale, seed=seed)
+        return graph, spec.name
+    graph, _ = read_graph_mtx(args.mtx)
+    return graph, args.mtx
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -91,43 +155,49 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("cases", help="list registered graph and PG cases")
+    sub.add_parser("methods", help="list registered sparsifier methods")
 
     sparsify = sub.add_parser("sparsify", help="sparsify a graph")
-    source = sparsify.add_mutually_exclusive_group(required=True)
-    source.add_argument("--case", choices=sorted(CASE_REGISTRY))
-    source.add_argument("--mtx", help="Matrix Market file to load")
-    sparsify.add_argument("--method", choices=sorted(_SPARSIFIERS),
+    _add_graph_source(sparsify)
+    sparsify.add_argument("--method", choices=sorted(list_methods()),
                           default="proposed")
-    sparsify.add_argument("--fraction", type=float, default=0.10)
-    sparsify.add_argument("--rounds", type=int, default=5)
-    sparsify.add_argument("--scale", type=float, default=None)
-    sparsify.add_argument("--seed", type=int, default=0)
-    sparsify.add_argument(
-        "--workers", type=int, default=1,
-        help="scoring worker processes: 1 serial, 0 one per CPU "
-             "(proposed method only; results are identical)",
+    sparsify.add_argument("--json", action="store_true",
+                          help="emit a RunRecord as JSON instead of a table")
+    _add_method_flags(sparsify)
+
+    sweep = sub.add_parser(
+        "sweep", help="method x fraction sweep through one session"
     )
-    sparsify.add_argument(
-        "--chunk-size", type=int, default=0, dest="chunk_size",
-        help="candidates per scoring task (0 = auto; does not change "
-             "results)",
-    )
+    _add_graph_source(sweep)
+    sweep.add_argument("--methods", default="proposed",
+                       help="comma-separated registry names")
+    sweep.add_argument("--fractions", default="0.02,0.05,0.10",
+                       help="comma-separated edge fractions")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the RunRecords as JSON")
+    sweep.add_argument("--output", default=None,
+                       help="also write the RunRecords to this JSON file")
+    _add_method_flags(sweep, skip=("edge_fraction",))
 
     transient = sub.add_parser("transient", help="PG transient comparison")
     transient.add_argument("--case", choices=sorted(PG_CASE_REGISTRY),
                            default="ibmpg3t")
     transient.add_argument("--scale", type=float, default=None)
     transient.add_argument("--t-end", type=float, default=5e-9)
-    transient.add_argument("--fraction", type=float, default=0.10)
-    transient.add_argument("--seed", type=int, default=0)
+    transient.add_argument("--method", choices=sorted(list_methods()),
+                           default="proposed")
+    transient.add_argument("--json", action="store_true")
+    _add_method_flags(transient)
 
     partition = sub.add_parser("partition", help="Fiedler comparison")
     partition.add_argument("--case", choices=sorted(CASE_REGISTRY),
                            default="ecology2")
     partition.add_argument("--scale", type=float, default=None)
     partition.add_argument("--steps", type=int, default=5)
-    partition.add_argument("--fraction", type=float, default=0.10)
-    partition.add_argument("--seed", type=int, default=0)
+    partition.add_argument("--method", choices=sorted(list_methods()),
+                           default="proposed")
+    partition.add_argument("--json", action="store_true")
+    _add_method_flags(partition)
     return parser
 
 
@@ -147,42 +217,127 @@ def _cmd_cases(_args) -> int:
     return 0
 
 
+def _cmd_methods(_args) -> int:
+    table = Table(["method", "deterministic", "rounds", "workers",
+                   "options", "description"])
+    for name in list_methods():
+        spec = get_method(name)
+        table.add_row([
+            name,
+            "yes" if spec.deterministic else "no",
+            "yes" if spec.supports_rounds else "-",
+            "yes" if spec.supports_workers else "-",
+            " ".join(_flag_for(o) for o in spec.option_names()),
+            spec.description,
+        ])
+    print(table.render())
+    return 0
+
+
 def _cmd_sparsify(args) -> int:
-    if args.case:
-        graph, spec = make_case(args.case, scale=args.scale, seed=args.seed)
-        label = spec.name
-    else:
-        graph, _ = read_graph_mtx(args.mtx)
-        label = args.mtx
+    from repro.core import evaluate_sparsifier
+
+    options = _provided_options(args, methods=[args.method])
+    seed = int(options.get("seed", 0))
+    graph, label = _load_graph(args, seed)
+    result = api_sparsify(graph, method=args.method, **options)
+    quality = evaluate_sparsifier(graph, result.sparsifier, seed=seed)
+    record = RunRecord.from_result(
+        result, method=args.method, label=label, quality=quality
+    )
+    if args.json:
+        print(record.to_json())
+        return 0
     print(f"{label}: {graph.n} nodes, {graph.edge_count} edges")
-    result = _SPARSIFIERS[args.method](graph, args)
-    quality = evaluate_sparsifier(graph, result.sparsifier)
     table = Table(["metric", "value"])
     table.add_row(["method", args.method])
     table.add_row(["sparsifier edges", quality.sparsifier_edges])
     table.add_row(["kappa(L_G, L_P)", quality.kappa])
     table.add_row(["PCG iterations (rtol 1e-3)", quality.pcg_iterations])
-    table.add_row(["sparsify seconds", result.setup_seconds])
+    table.add_row(["sparsify seconds", format_seconds(result.setup_seconds)])
     table.add_row(["factor nnz", quality.factor_nnz])
     print(table.render())
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    fractions = [float(f) for f in args.fractions.split(",") if f.strip()]
+    options = _provided_options(args, methods=methods)
+    seed = int(options.get("seed", 0))
+    graph, label = _load_graph(args, seed)
+    session = SparsifierSession(graph, label=label)
+    records = session.sweep(methods, fractions, **options)
+    payload = [record.to_dict() for record in records]
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{label}: {graph.n} nodes, {graph.edge_count} edges")
+    table = Table(["method", "fraction", "edges", "kappa", "PCG iters",
+                   "Ts_s"])
+    for record in records:
+        table.add_row([
+            record.method,
+            record.config["edge_fraction"],
+            record.graph["sparsifier_edges"],
+            f"{record.quality['kappa']:.2f}",
+            record.quality["pcg_iterations"],
+            format_seconds(record.timings["sparsify_seconds"]),
+        ])
+    print(table.render())
+    stats = session.stats()
+    reused = sum(stats["hits"].values())
+    print(f"session artifacts: {stats['entries']} cached, "
+          f"{reused} reuse hits "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(stats['hits'].items()))})")
+    return 0
+
+
 def _cmd_transient(args) -> int:
-    netlist, spec = make_pg_case(args.case, scale=args.scale, seed=args.seed)
+    options = _provided_options(args, methods=[args.method])
+    seed = int(options.get("seed", 0))
+    netlist, spec = make_pg_case(args.case, scale=args.scale, seed=seed)
     probe = netlist.loads[0].node
-    print(f"{spec.name}: {netlist.n} nodes, {len(netlist.loads)} loads")
+    if not args.json:
+        print(f"{spec.name}: {netlist.n} nodes, {len(netlist.loads)} loads")
     direct = simulate_transient_direct(
         netlist, t_end=args.t_end, step=10e-12, probes=[probe]
     )
-    factor, sparsify_seconds, _ = build_sparsifier_preconditioner(
-        netlist, method="proposed", edge_fraction=args.fraction,
-        seed=args.seed,
+    factor, sparsify_seconds, result = build_sparsifier_preconditioner(
+        netlist, method=args.method, **options
     )
     iterative = simulate_transient_pcg(
         netlist, factor, t_end=args.t_end, probes=[probe]
     )
     deviation = max_probe_difference(direct, iterative, probe)
+    if args.json:
+        record = RunRecord.from_result(
+            result, method=args.method, label=spec.name
+        )
+        print(json.dumps({
+            "command": "transient",
+            "case": spec.name,
+            "nodes": int(netlist.n),
+            "loads": len(netlist.loads),
+            "t_end": args.t_end,
+            "direct": {
+                "steps": int(direct.steps),
+                "transient_seconds": float(direct.transient_seconds),
+                "memory_bytes": int(direct.memory_bytes),
+            },
+            "pcg": {
+                "steps": int(iterative.steps),
+                "transient_seconds": float(iterative.transient_seconds),
+                "avg_iterations": float(iterative.avg_iterations),
+                "memory_bytes": int(iterative.memory_bytes),
+            },
+            "deviation_volts": float(deviation),
+            "sparsifier": record.to_dict(),
+        }, indent=2, sort_keys=True))
+        return 0
     table = Table(["solver", "steps", "Ttr_s", "avg_iters", "memory"])
     table.add_row(
         ["direct (10 ps)", direct.steps, direct.transient_seconds, "-",
@@ -194,29 +349,51 @@ def _cmd_transient(args) -> int:
          format_bytes(iterative.memory_bytes)]
     )
     print(table.render())
-    print(f"sparsification: {sparsify_seconds:.2f} s; "
+    print(f"sparsification ({args.method}): {sparsify_seconds:.2f} s; "
           f"waveform deviation {deviation * 1e3:.2f} mV (< 16 mV expected)")
     return 0
 
 
 def _cmd_partition(args) -> int:
-    graph, spec = make_case(args.case, scale=args.scale, seed=args.seed)
-    print(f"{spec.name}: {graph.n} nodes, {graph.edge_count} edges")
+    options = _provided_options(args, methods=[args.method])
+    seed = int(options.get("seed", 0))
+    graph, spec = make_case(args.case, scale=args.scale, seed=seed)
+    if not args.json:
+        print(f"{spec.name}: {graph.n} nodes, {graph.edge_count} edges")
     direct = fiedler_vector(graph, method="direct", steps=args.steps,
-                            seed=args.seed)
-    sparsifier = trace_reduction_sparsify(
-        graph, edge_fraction=args.fraction, rounds=5, seed=args.seed
+                            seed=seed)
+    factor, result = build_partition_preconditioner(
+        graph, method=args.method, **options
     )
-    shift = regularization_shift(graph)
-    factor = cholesky(regularized_laplacian(sparsifier.sparsifier, shift))
     iterative = fiedler_vector(
         graph, method="pcg", preconditioner=factor, steps=args.steps,
-        seed=args.seed,
+        seed=seed,
     )
     err = partition_relative_error(
         spectral_bipartition(direct.vector),
         spectral_bipartition(iterative.vector),
     )
+    if args.json:
+        record = RunRecord.from_result(
+            result, method=args.method, label=spec.name
+        )
+        print(json.dumps({
+            "command": "partition",
+            "case": spec.name,
+            "steps": args.steps,
+            "direct": {
+                "seconds": float(direct.seconds),
+                "memory_bytes": int(direct.memory_bytes),
+            },
+            "pcg": {
+                "seconds": float(iterative.seconds),
+                "avg_iterations": float(iterative.avg_iterations),
+                "memory_bytes": int(iterative.memory_bytes),
+            },
+            "relative_error": float(err),
+            "sparsifier": record.to_dict(),
+        }, indent=2, sort_keys=True))
+        return 0
     table = Table(["solver", "seconds", "avg_iters", "memory", "RelErr"])
     table.add_row(
         ["direct", direct.seconds, "-", format_bytes(direct.memory_bytes), "-"]
@@ -231,7 +408,9 @@ def _cmd_partition(args) -> int:
 
 _COMMANDS = {
     "cases": _cmd_cases,
+    "methods": _cmd_methods,
     "sparsify": _cmd_sparsify,
+    "sweep": _cmd_sweep,
     "transient": _cmd_transient,
     "partition": _cmd_partition,
 }
@@ -244,16 +423,20 @@ def main(argv=None) -> int:
     ----------
     argv : list of str, optional
         Argument vector; defaults to ``sys.argv[1:]``.  See the module
-        docstring for the available subcommands, including the
-        ``sparsify --workers/--chunk-size`` scoring knobs.
+        docstring for the available subcommands.
 
     Returns
     -------
     int
-        Process exit code (0 on success).
+        Process exit code: 0 on success, 2 on a usage error such as an
+        option the chosen method does not accept.
     """
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

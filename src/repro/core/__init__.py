@@ -11,6 +11,7 @@ Public surface:
 * quality metrics: :func:`evaluate_sparsifier`, :func:`pcg_performance`.
 """
 
+from repro.core.base import ArtifactStore, BaseSparsifierConfig
 from repro.core.resistance import effective_resistance, effective_resistances
 from repro.core.trace import (
     trace_ratio_exact,
@@ -45,8 +46,9 @@ from repro.core.sparsifier import (
     trace_reduction_sparsify,
 )
 from repro.core.grass import GrassConfig, grass_sparsify, perturbation_criticality
-from repro.core.fegrass import fegrass_sparsify
+from repro.core.fegrass import FegrassConfig, fegrass_sparsify
 from repro.core.er_sampling import (
+    ErSamplingConfig,
     approximate_effective_resistances,
     er_sample_sparsify,
 )
@@ -54,6 +56,8 @@ from repro.core.trace_tracker import TraceTracker
 from repro.core.metrics import QualityReport, evaluate_sparsifier, pcg_performance
 
 __all__ = [
+    "ArtifactStore",
+    "BaseSparsifierConfig",
     "effective_resistance",
     "effective_resistances",
     "trace_ratio_exact",
@@ -81,7 +85,9 @@ __all__ = [
     "GrassConfig",
     "grass_sparsify",
     "perturbation_criticality",
+    "FegrassConfig",
     "fegrass_sparsify",
+    "ErSamplingConfig",
     "approximate_effective_resistances",
     "er_sample_sparsify",
     "TraceTracker",

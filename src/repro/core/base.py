@@ -1,0 +1,150 @@
+"""Shared sparsifier contract: base configuration and artifact store.
+
+Every sparsification method in this package — the paper's Algorithm 2
+and the GRASS / feGRASS / effective-resistance-sampling baselines —
+plugs into the same three-piece contract:
+
+* a configuration dataclass deriving from :class:`BaseSparsifierConfig`
+  (so ``edge_fraction`` / ``seed`` mean the same thing everywhere and
+  every config serializes losslessly through :meth:`to_dict`);
+* a runner returning a
+  :class:`~repro.core.sparsifier.SparsifierResult`;
+* optional reuse of expensive per-graph artifacts through an
+  :class:`ArtifactStore` (spanning trees, Laplacians, Cholesky
+  factors, tree-phase criticalities), which is how
+  :class:`repro.api.SparsifierSession` makes fraction/method sweeps
+  over one graph stop re-deriving shared state.
+
+The method registry (:mod:`repro.api.registry`) binds the pieces
+together; this module stays import-light so the core sparsifier
+modules can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, fields, replace
+
+from repro.exceptions import GraphError
+
+__all__ = ["BaseSparsifierConfig", "ArtifactStore", "shared_artifact"]
+
+
+@dataclass(kw_only=True)
+class BaseSparsifierConfig:
+    """Options every sparsification method understands.
+
+    All config fields (here and in subclasses) are keyword-only:
+    deriving from this base appends the shared fields to the front of
+    the dataclass, so allowing positional construction would silently
+    re-bind arguments of the pre-refactor config classes.
+
+    Parameters
+    ----------
+    edge_fraction : float
+        Recovery budget ``alpha``: keep ``edge_fraction * |V|``
+        off-tree edges on top of the spanning backbone.
+    seed : int
+        Seed of the method's random stream (recorded even for
+        deterministic methods, for API symmetry).
+    """
+
+    edge_fraction: float = 0.10
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.exceptions.GraphError` on bad knobs."""
+        if not 0.0 <= self.edge_fraction:
+            raise GraphError("edge_fraction must be nonnegative")
+
+    def to_dict(self) -> dict:
+        """All options as a plain ``{name: value}`` dict (JSON-safe)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict):
+        """Rebuild a config from :meth:`to_dict` output."""
+        names = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise GraphError(
+                f"{cls.__name__} does not accept option(s) "
+                f"{', '.join(map(repr, unknown))}; "
+                f"valid options: {', '.join(sorted(names))}"
+            )
+        return cls(**data)
+
+    def replace(self, **changes):
+        """A copy of this config with *changes* applied."""
+        return replace(self, **changes)
+
+
+class ArtifactStore:
+    """Keyed memo for expensive per-graph artifacts, with hit stats.
+
+    One store belongs to one graph (a
+    :class:`~repro.api.SparsifierSession` owns one); entries are keyed
+    by ``(kind, key)`` where *key* pins down every input that
+    determines the artifact — e.g. ``("tree", ("mewst",))`` or
+    ``("factor_g", (reg_rel,))``.  Stored values are treated as
+    read-only by all consumers, which is what makes reuse bit-exact.
+
+    Examples
+    --------
+    >>> store = ArtifactStore()
+    >>> store.get("tree", ("mewst",), lambda: [0, 1, 2])
+    [0, 1, 2]
+    >>> store.get("tree", ("mewst",), lambda: [9, 9, 9])
+    [0, 1, 2]
+    >>> store.stats()["hits"]
+    {'tree': 1}
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self.hits: Counter = Counter()
+        self.misses: Counter = Counter()
+
+    def get(self, kind: str, key: tuple, build):
+        """Return the cached artifact, building (and storing) on miss."""
+        slot = (kind, key)
+        if slot in self._entries:
+            self.hits[kind] += 1
+            return self._entries[slot]
+        self.misses[kind] += 1
+        value = build()
+        self._entries[slot] = value
+        return value
+
+    def stats(self) -> dict:
+        """Hit/miss counters per artifact kind plus the entry count."""
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "entries": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        """Drop every cached artifact and reset the counters."""
+        self._entries.clear()
+        self.hits.clear()
+        self.misses.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, slot) -> bool:
+        return slot in self._entries
+
+
+def shared_artifact(artifacts, kind: str, key: tuple, build):
+    """Fetch through *artifacts* when present, else build directly.
+
+    The sparsifier runners call this for every artifact a session may
+    share; a cold (session-less) run passes ``artifacts=None`` and pays
+    full price, which keeps the cold path byte-for-byte identical to
+    the pre-registry code.
+    """
+    if artifacts is None:
+        return build()
+    return artifacts.get(kind, key, build)

@@ -20,9 +20,13 @@ union the sample with a spanning forest.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.core.base import BaseSparsifierConfig, shared_artifact
 from repro.core.sparsifier import SparsifierResult
+from repro.exceptions import GraphError
 from repro.graph.graph import Graph
 from repro.graph.laplacian import (
     incidence_matrix,
@@ -34,11 +38,29 @@ from repro.tree.spanning import mewst
 from repro.utils.rng import as_rng
 from repro.utils.timers import Timer
 
-__all__ = ["approximate_effective_resistances", "er_sample_sparsify"]
+__all__ = [
+    "ErSamplingConfig",
+    "approximate_effective_resistances",
+    "er_sample_sparsify",
+]
+
+
+@dataclass(kw_only=True)
+class ErSamplingConfig(BaseSparsifierConfig):
+    """Knobs of the effective-resistance sampling baseline."""
+
+    sketch_size: int | None = None   # JL rows k (None = ceil(8 log n))
+    include_tree: bool = True        # union the sample with a MEWST
+    reg_rel: float = 1e-6
+
+    def validate(self) -> None:
+        super().validate()
+        if self.sketch_size is not None and self.sketch_size < 1:
+            raise GraphError("sketch_size must be >= 1 or None")
 
 
 def approximate_effective_resistances(
-    graph: Graph, sketch_size=None, reg_rel=1e-6, seed=0
+    graph: Graph, sketch_size=None, reg_rel=1e-6, seed=0, factor=None
 ) -> np.ndarray:
     """JL-sketched effective resistance of every edge.
 
@@ -49,6 +71,9 @@ def approximate_effective_resistances(
     sketch_size:
         Number of random projection rows ``k`` (default
         ``ceil(8 log n)``); each row costs one Laplacian solve.
+    factor:
+        Optional precomputed Cholesky factor of the regularized
+        Laplacian (sessions pass it to skip the refactorization).
 
     Returns
     -------
@@ -59,9 +84,10 @@ def approximate_effective_resistances(
     n = graph.n
     if sketch_size is None:
         sketch_size = int(np.ceil(8 * np.log(max(n, 2))))
-    shift = regularization_shift(graph, reg_rel)
-    laplacian = regularized_laplacian(graph, shift)
-    factor = cholesky(laplacian)
+    if factor is None:
+        shift = regularization_shift(graph, reg_rel)
+        laplacian = regularized_laplacian(graph, shift)
+        factor = cholesky(laplacian)
     incidence = incidence_matrix(graph, weighted=True)  # m x n, W^(1/2) B
     # Sketch rows: y_i = L^{-1} (B^T W^{1/2} q_i), q_i ~ Rademacher/sqrt(k).
     sketch = np.empty((sketch_size, n))
@@ -73,21 +99,17 @@ def approximate_effective_resistances(
     return np.sum(diffs * diffs, axis=0)
 
 
-def er_sample_sparsify(
-    graph: Graph,
-    edge_fraction: float = 0.10,
-    sketch_size=None,
-    include_tree: bool = True,
-    reg_rel: float = 1e-6,
-    seed: int = 0,
-) -> SparsifierResult:
+def er_sample_sparsify(graph: Graph, config=None, *, artifacts=None,
+                       **overrides) -> SparsifierResult:
     """Spielman-Srivastava sampling baseline.
 
     Samples ``edge_fraction * |V|`` off-tree edges (without
     replacement, probability proportional to the leverage score
     ``w_e R_eff(e)``) on top of a MEWST backbone, mirroring the edge
     budget convention of the other sparsifiers in this package so the
-    results are directly comparable.
+    results are directly comparable.  Prefer :func:`repro.sparsify`
+    (``method="er_sampling"``) for new code; keyword arguments are the
+    :class:`ErSamplingConfig` fields.
 
     Notes
     -----
@@ -96,39 +118,86 @@ def er_sample_sparsify(
     without-replacement topology variant is standard and keeps the
     sparsifier a plain subgraph (weights unchanged).
     """
-    rng = as_rng(seed)
+    if isinstance(config, (int, float)) and not isinstance(config, bool):
+        # Pre-registry signature: er_sample_sparsify(graph, edge_fraction).
+        overrides["edge_fraction"] = float(config)
+        config = None
+    if config is None:
+        config = ErSamplingConfig(**overrides)
+    elif not isinstance(config, ErSamplingConfig):
+        raise GraphError(
+            f"er_sample_sparsify expects an ErSamplingConfig, "
+            f"got {type(config).__name__}"
+        )
+    elif overrides:
+        raise GraphError("pass either a config object or overrides, not both")
+    config.validate()
+
     timer = Timer()
     with timer:
-        tree_ids = mewst(graph) if include_tree else np.empty(0, dtype=np.int64)
-        resistances = approximate_effective_resistances(
-            graph, sketch_size=sketch_size, reg_rel=reg_rel, seed=rng
+        result = _run(graph, config, artifacts)
+    result.setup_seconds = timer.elapsed
+    return result
+
+
+def _run(graph: Graph, config: ErSamplingConfig,
+         artifacts=None) -> SparsifierResult:
+    rng = as_rng(config.seed)
+    if config.include_tree:
+        tree_ids = shared_artifact(
+            artifacts, "tree", ("mewst",), lambda: mewst(graph)
         )
-        leverage = graph.w * resistances
-        edge_mask = np.zeros(graph.edge_count, dtype=bool)
-        edge_mask[tree_ids] = True
-        candidates = np.flatnonzero(~edge_mask)
-        budget = int(round(edge_fraction * graph.n))
-        budget = min(budget, len(candidates))
-        recovered = np.empty(0, dtype=np.int64)
-        if budget > 0 and len(candidates):
-            probabilities = leverage[candidates]
-            total = probabilities.sum()
-            if total <= 0:
-                probabilities = np.full(len(candidates), 1.0 / len(candidates))
-            else:
-                probabilities = probabilities / total
-            recovered = rng.choice(
-                candidates, size=budget, replace=False, p=probabilities
-            )
-            edge_mask[recovered] = True
-    result = SparsifierResult(
+    else:
+        tree_ids = np.empty(0, dtype=np.int64)
+
+    def _resistances():
+        # The expensive part: sketch_size Laplacian solves.  Capturing
+        # the generator state *after* the sketch makes a warm run
+        # consume the stream exactly like a cold one, so the subsequent
+        # sample is bit-identical.
+        shift = shared_artifact(
+            artifacts, "shift", (config.reg_rel,),
+            lambda: regularization_shift(graph, config.reg_rel),
+        )
+        factor = shared_artifact(
+            artifacts, "factor_g", (config.reg_rel,),
+            lambda: cholesky(regularized_laplacian(graph, shift)),
+        )
+        values = approximate_effective_resistances(
+            graph, sketch_size=config.sketch_size, reg_rel=config.reg_rel,
+            seed=rng, factor=factor,
+        )
+        return values, rng.bit_generator.state
+
+    resistances, rng_state = shared_artifact(
+        artifacts, "er_resistances",
+        (config.sketch_size, config.reg_rel, config.seed), _resistances,
+    )
+    rng.bit_generator.state = rng_state
+    leverage = graph.w * resistances
+    edge_mask = np.zeros(graph.edge_count, dtype=bool)
+    edge_mask[tree_ids] = True
+    candidates = np.flatnonzero(~edge_mask)
+    budget = int(round(config.edge_fraction * graph.n))
+    budget = min(budget, len(candidates))
+    recovered = np.empty(0, dtype=np.int64)
+    if budget > 0 and len(candidates):
+        probabilities = leverage[candidates]
+        total = probabilities.sum()
+        if total <= 0:
+            probabilities = np.full(len(candidates), 1.0 / len(candidates))
+        else:
+            probabilities = probabilities / total
+        recovered = rng.choice(
+            candidates, size=budget, replace=False, p=probabilities
+        )
+        edge_mask[recovered] = True
+    return SparsifierResult(
         graph=graph,
         edge_mask=edge_mask,
         tree_edge_ids=tree_ids,
         recovered_edge_ids=np.sort(recovered),
-        config={"method": "er_sampling", "edge_fraction": edge_fraction},
+        config=config,
         rounds_log=[{"round": 1, "phase": "er_sampling",
                      "added": int(len(recovered))}],
     )
-    result.setup_seconds = timer.elapsed
-    return result

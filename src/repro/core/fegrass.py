@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.base import BaseSparsifierConfig, shared_artifact
 from repro.core.similarity import SimilarityMarker
 from repro.core.sparsifier import SparsifierResult, _pick_edges
 from repro.exceptions import GraphError
@@ -27,48 +28,72 @@ from repro.utils.timers import Timer
 __all__ = ["FegrassConfig", "fegrass_sparsify"]
 
 
-@dataclass
-class FegrassConfig:
+@dataclass(kw_only=True)
+class FegrassConfig(BaseSparsifierConfig):
     """Knobs of the feGRASS baseline."""
 
-    edge_fraction: float = 0.10
     gamma: int = 2
     use_similarity: bool = True
-    seed: int = 0
 
 
-def fegrass_sparsify(graph: Graph, config=None, **overrides):
-    """Run the feGRASS baseline; returns a :class:`SparsifierResult`."""
+def fegrass_sparsify(graph: Graph, config=None, *, artifacts=None,
+                     **overrides):
+    """Run the feGRASS baseline; returns a :class:`SparsifierResult`.
+
+    Prefer :func:`repro.sparsify` (``method="fegrass"``) for new code;
+    *artifacts* is the optional session store documented there.
+    """
     if config is None:
         config = FegrassConfig(**overrides)
     elif overrides:
         raise GraphError("pass either a config object or overrides, not both")
+    config.validate()
 
     timer = Timer()
     with timer:
-        tree_ids = mewst(graph)
-        forest = RootedForest(graph, tree_ids)
-        edge_mask = forest.tree_edge_mask()
-        candidates = np.flatnonzero(~edge_mask)
-        budget = int(round(config.edge_fraction * graph.n))
-        budget = min(budget, len(candidates))
-        recovered: list = []
-        if budget > 0 and len(candidates):
+        result = _run(graph, config, artifacts)
+    result.setup_seconds = timer.elapsed
+    return result
+
+
+def _run(graph: Graph, config: FegrassConfig,
+         artifacts=None) -> SparsifierResult:
+    tree_ids = shared_artifact(
+        artifacts, "tree", ("mewst",), lambda: mewst(graph)
+    )
+    forest = shared_artifact(
+        artifacts, "forest", ("mewst",),
+        lambda: RootedForest(graph, tree_ids),
+    )
+    edge_mask = forest.tree_edge_mask()
+    candidates = np.flatnonzero(~edge_mask)
+    budget = int(round(config.edge_fraction * graph.n))
+    budget = min(budget, len(candidates))
+    recovered: list = []
+    if budget > 0 and len(candidates):
+        def _stretch():
+            # Off-tree stretches depend only on the MEWST, so a session
+            # sweeping fractions reuses one offline-LCA pass.
             resistances, _ = batch_tree_resistances(
                 forest, graph.u[candidates], graph.v[candidates]
             )
-            crit = graph.w[candidates] * resistances
-            full_crit = np.zeros(graph.edge_count)
-            full_crit[candidates] = crit
-            order = candidates[np.argsort(-crit, kind="stable")]
-            marker = SimilarityMarker(graph, gamma=config.gamma)
-            marker.attach_subgraph(forest.tree)
-            recovered = _pick_edges(
-                order, full_crit, marker, budget, config.use_similarity
-            )
-            edge_mask[recovered] = True
+            return resistances
 
-    result = SparsifierResult(
+        resistances = shared_artifact(
+            artifacts, "tree_stretch", ("mewst",), _stretch
+        )
+        crit = graph.w[candidates] * resistances
+        full_crit = np.zeros(graph.edge_count)
+        full_crit[candidates] = crit
+        order = candidates[np.argsort(-crit, kind="stable")]
+        marker = SimilarityMarker(graph, gamma=config.gamma)
+        marker.attach_subgraph(forest.tree)
+        recovered = _pick_edges(
+            order, full_crit, marker, budget, config.use_similarity
+        )
+        edge_mask[recovered] = True
+
+    return SparsifierResult(
         graph=graph,
         edge_mask=edge_mask,
         tree_edge_ids=tree_ids,
@@ -76,5 +101,3 @@ def fegrass_sparsify(graph: Graph, config=None, **overrides):
         config=config,
         rounds_log=[{"round": 1, "phase": "fegrass", "added": len(recovered)}],
     )
-    result.setup_seconds = timer.elapsed
-    return result

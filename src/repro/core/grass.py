@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.base import BaseSparsifierConfig, shared_artifact
 from repro.core.similarity import SimilarityMarker
 from repro.core.sparsifier import SparsifierResult, _pick_edges
 from repro.exceptions import GraphError
@@ -40,11 +41,10 @@ _TREE_METHODS = {
 }
 
 
-@dataclass
-class GrassConfig:
+@dataclass(kw_only=True)
+class GrassConfig(BaseSparsifierConfig):
     """Knobs of the GRASS baseline."""
 
-    edge_fraction: float = 0.10
     rounds: int = 5
     power_steps: int = 2          # t in Eq. (2)
     probe_vectors: int = 3        # random h_0 vectors averaged
@@ -53,9 +53,9 @@ class GrassConfig:
     use_similarity: bool = True
     reg_rel: float = 1e-6
     cholesky_backend: str = "auto"
-    seed: int = 0
 
     def validate(self) -> None:
+        super().validate()
         if self.rounds < 1:
             raise GraphError("rounds must be >= 1")
         if self.power_steps < 1:
@@ -102,8 +102,12 @@ def perturbation_criticality(
     return total / probe_vectors
 
 
-def grass_sparsify(graph: Graph, config=None, **overrides):
-    """Run the GRASS baseline; returns a :class:`SparsifierResult`."""
+def grass_sparsify(graph: Graph, config=None, *, artifacts=None, **overrides):
+    """Run the GRASS baseline; returns a :class:`SparsifierResult`.
+
+    Prefer :func:`repro.sparsify` (``method="grass"``) for new code;
+    *artifacts* is the optional session store documented there.
+    """
     if config is None:
         config = GrassConfig(**overrides)
     elif overrides:
@@ -112,20 +116,33 @@ def grass_sparsify(graph: Graph, config=None, **overrides):
 
     timer = Timer()
     with timer:
-        result = _run(graph, config)
+        result = _run(graph, config, artifacts)
     result.setup_seconds = timer.elapsed
     return result
 
 
-def _run(graph: Graph, config: GrassConfig) -> SparsifierResult:
+def _run(graph: Graph, config: GrassConfig,
+         artifacts=None) -> SparsifierResult:
     n = graph.n
     m = graph.edge_count
     rng = as_rng(config.seed)
-    shift = regularization_shift(graph, config.reg_rel)
-    laplacian_g = regularized_laplacian(graph, shift, fmt="csr")
+    shift = shared_artifact(
+        artifacts, "shift", (config.reg_rel,),
+        lambda: regularization_shift(graph, config.reg_rel),
+    )
+    laplacian_g = shared_artifact(
+        artifacts, "laplacian_g", (config.reg_rel, "csr"),
+        lambda: regularized_laplacian(graph, shift, fmt="csr"),
+    )
 
-    tree_ids = _TREE_METHODS[config.tree_method](graph)
-    forest = RootedForest(graph, tree_ids)
+    tree_ids = shared_artifact(
+        artifacts, "tree", (config.tree_method,),
+        lambda: _TREE_METHODS[config.tree_method](graph),
+    )
+    forest = shared_artifact(
+        artifacts, "forest", (config.tree_method,),
+        lambda: RootedForest(graph, tree_ids),
+    )
     edge_mask = forest.tree_edge_mask()
 
     budget = int(round(config.edge_fraction * n))

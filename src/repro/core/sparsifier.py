@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.base import BaseSparsifierConfig, shared_artifact
 from repro.core.parallel import score_edges
 from repro.core.ranking import (
     ApproxRanker,
@@ -59,15 +60,16 @@ _TREE_METHODS = {
 _RANKINGS = ("approx", "exact")
 
 
-@dataclass
-class SparsifierConfig:
+@dataclass(kw_only=True)
+class SparsifierConfig(BaseSparsifierConfig):
     """Knobs of Algorithm 2 (defaults follow the paper's experiments).
 
     Parameters
     ----------
     edge_fraction : float
         Recovery budget ``alpha``: recover ``edge_fraction * |V|``
-        off-tree edges in total.
+        off-tree edges in total (inherited from
+        :class:`~repro.core.base.BaseSparsifierConfig`).
     rounds : int
         Number of densification rounds ``N_r``.
     beta : int
@@ -106,7 +108,6 @@ class SparsifierConfig:
         on this value.
     """
 
-    edge_fraction: float = 0.10   # alpha = edge_fraction * |V| off-tree edges
     rounds: int = 5               # N_r
     beta: int = 5                 # BFS truncation depth (Eq. 12)
     delta: float = 0.1            # SPAI pruning threshold (Alg. 1)
@@ -115,7 +116,6 @@ class SparsifierConfig:
     use_similarity: bool = True   # mark similar edges for exclusion
     reg_rel: float = 1e-6         # footnote-1 diagonal shift, relative
     cholesky_backend: str = "auto"
-    seed: int = 0
     ranking: str = "approx"       # "approx" | "exact" general-round ranker
     workers: int = 1              # scoring processes (0 = one per CPU)
     chunk_size: int = 0           # candidates per scoring task (0 = auto)
@@ -123,8 +123,7 @@ class SparsifierConfig:
 
     def validate(self) -> None:
         """Raise :class:`~repro.exceptions.GraphError` on bad knobs."""
-        if not 0.0 <= self.edge_fraction:
-            raise GraphError("edge_fraction must be nonnegative")
+        super().validate()
         if self.rounds < 1:
             raise GraphError("rounds must be >= 1")
         if self.beta < 1:
@@ -215,8 +214,13 @@ def _pick_edges(order, criticality, marker, per_round, use_similarity):
     return chosen
 
 
-def trace_reduction_sparsify(graph: Graph, config=None, **overrides):
+def trace_reduction_sparsify(graph: Graph, config=None, *, artifacts=None,
+                             **overrides):
     """Run Algorithm 2 on *graph* and return a :class:`SparsifierResult`.
+
+    Prefer :func:`repro.sparsify` (``method="proposed"``) for new code;
+    this entry point remains as the registered implementation and for
+    backward compatibility.
 
     Parameters
     ----------
@@ -225,6 +229,10 @@ def trace_reduction_sparsify(graph: Graph, config=None, **overrides):
     config : SparsifierConfig, optional
         Full configuration object; mutually exclusive with keyword
         overrides.
+    artifacts : repro.core.base.ArtifactStore, optional
+        Session artifact store for reusing the spanning tree / forest,
+        regularization shift and tree-phase criticality across runs on
+        the same graph.  Reuse never changes results.
     **overrides
         :class:`SparsifierConfig` fields by keyword, e.g.
         ``trace_reduction_sparsify(g, edge_fraction=0.05, rounds=2,
@@ -250,21 +258,31 @@ def trace_reduction_sparsify(graph: Graph, config=None, **overrides):
 
     timer = Timer()
     with timer:
-        result = _run(graph, config)
+        result = _run(graph, config, artifacts)
     result.setup_seconds = timer.elapsed
     return result
 
 
-def _run(graph: Graph, config: SparsifierConfig) -> SparsifierResult:
+def _run(graph: Graph, config: SparsifierConfig,
+         artifacts=None) -> SparsifierResult:
     n = graph.n
     m = graph.edge_count
-    shift = regularization_shift(graph, config.reg_rel)
+    shift = shared_artifact(
+        artifacts, "shift", (config.reg_rel,),
+        lambda: regularization_shift(graph, config.reg_rel),
+    )
 
     # Step 1: low-stretch spanning tree.
-    tree_ids = _TREE_METHODS[config.tree_method](graph)
+    tree_ids = shared_artifact(
+        artifacts, "tree", (config.tree_method,),
+        lambda: _TREE_METHODS[config.tree_method](graph),
+    )
     from repro.tree.rooted import RootedForest
 
-    forest = RootedForest(graph, tree_ids)
+    forest = shared_artifact(
+        artifacts, "forest", (config.tree_method,),
+        lambda: RootedForest(graph, tree_ids),
+    )
     edge_mask = forest.tree_edge_mask()
 
     budget = int(round(config.edge_fraction * n))
@@ -278,11 +296,21 @@ def _run(graph: Graph, config: SparsifierConfig) -> SparsifierResult:
         # Step 2: tree-phase ranking (Eqs. 13-15).
         round_timer = Timer()
         with round_timer:
-            candidates = np.flatnonzero(~edge_mask)
-            ranker = TreePhaseRanker(graph, forest, beta=config.beta)
-            crit = score_edges(
-                ranker, candidates,
-                workers=config.workers, chunk_size=config.chunk_size,
+            def _tree_phase():
+                # Depends only on (graph, tree, beta): candidates are the
+                # off-tree edges and scores are worker-count invariant,
+                # so a session can share them across fraction sweeps.
+                cand = np.flatnonzero(~edge_mask)
+                ranker = TreePhaseRanker(graph, forest, beta=config.beta)
+                scores = score_edges(
+                    ranker, cand,
+                    workers=config.workers, chunk_size=config.chunk_size,
+                )
+                return cand, scores
+
+            candidates, crit = shared_artifact(
+                artifacts, "tree_phase",
+                (config.tree_method, config.beta), _tree_phase,
             )
             full_crit = np.zeros(m)
             full_crit[candidates] = crit

@@ -23,3 +23,15 @@ class ConvergenceError(ReproError):
 
 class SimulationError(ReproError):
     """Raised for inconsistent power-grid netlists or simulation setups."""
+
+
+class UnknownMethodError(ReproError, ValueError):
+    """Raised when a sparsifier method name is not in the registry.
+
+    Also a :class:`ValueError` so callers of the pre-registry
+    ``build_sparsifier_preconditioner`` keep working.
+    """
+
+
+class UnknownOptionError(ReproError):
+    """Raised when a sparsifier option does not apply to the method."""

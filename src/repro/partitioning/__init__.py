@@ -1,6 +1,7 @@
 """Spectral graph partitioning substrate (paper Sec. 4.3)."""
 
 from repro.partitioning.fiedler import FiedlerResult, fiedler_vector
+from repro.partitioning.precondition import build_partition_preconditioner
 from repro.partitioning.spectral import (
     spectral_bipartition,
     partition_relative_error,
@@ -10,6 +11,7 @@ from repro.partitioning.spectral import (
 __all__ = [
     "FiedlerResult",
     "fiedler_vector",
+    "build_partition_preconditioner",
     "spectral_bipartition",
     "partition_relative_error",
     "cut_weight",

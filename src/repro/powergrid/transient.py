@@ -24,8 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.grass import grass_sparsify
-from repro.core.sparsifier import trace_reduction_sparsify
+from repro.api import sparsify
 from repro.exceptions import SimulationError
 from repro.graph.laplacian import laplacian
 from repro.linalg.cholesky import cholesky
@@ -191,23 +190,20 @@ def build_sparsifier_preconditioner(
     Laplacian grounded by the same pad conductances as the full grid,
     which is exactly how the paper reuses the DC-analysis preconditioner
     for every transient step.
+
+    *method* is any registered sparsifier
+    (:func:`repro.api.list_methods`); unknown methods raise
+    :class:`~repro.exceptions.UnknownMethodError` and options the
+    method does not accept raise
+    :class:`~repro.exceptions.UnknownOptionError`.
     """
-    if method == "proposed":
-        result = trace_reduction_sparsify(
-            netlist.graph,
-            edge_fraction=edge_fraction,
-            seed=seed,
-            **sparsifier_kwargs,
-        )
-    elif method == "grass":
-        result = grass_sparsify(
-            netlist.graph,
-            edge_fraction=edge_fraction,
-            seed=seed,
-            **sparsifier_kwargs,
-        )
-    else:
-        raise ValueError(f"unknown sparsifier method {method!r}")
+    result = sparsify(
+        netlist.graph,
+        method=method,
+        edge_fraction=edge_fraction,
+        seed=seed,
+        **sparsifier_kwargs,
+    )
     sparsifier = result.sparsifier
     matrix = laplacian(sparsifier, shift=netlist.pad_conductance, fmt="csc")
     factor = cholesky(matrix)

@@ -1,0 +1,144 @@
+"""SparsifierSession: artifact reuse must be observable and bit-exact."""
+
+import numpy as np
+import pytest
+
+from repro.api import SparsifierSession, sparsify
+from repro.graph import grid2d, triangular_mesh
+
+
+@pytest.fixture()
+def grid():
+    return grid2d(14, 14, weights="uniform", seed=21)
+
+
+def test_fraction_sweep_reuses_tree_artifacts_bit_identically(grid):
+    """The acceptance shape: a proposed-method fraction sweep derives the
+    spanning tree / forest / shift / tree-phase scores once, and every
+    warm result equals its cold counterpart exactly."""
+    fractions = (0.03, 0.06, 0.10, 0.15)
+    session = SparsifierSession(grid, label="grid14")
+    warm = [session.sparsify("proposed", edge_fraction=f, rounds=2)
+            for f in fractions]
+    cold = [sparsify(grid, method="proposed", edge_fraction=f, rounds=2)
+            for f in fractions]
+    for w, c in zip(warm, cold):
+        np.testing.assert_array_equal(w.edge_mask, c.edge_mask)
+        np.testing.assert_array_equal(
+            w.recovered_edge_ids, c.recovered_edge_ids
+        )
+    stats = session.stats()
+    for kind in ("tree", "forest", "shift", "tree_phase"):
+        assert stats["misses"][kind] == 1
+        assert stats["hits"][kind] == len(fractions) - 1, kind
+
+
+def test_er_sampling_sweep_reuses_factor_and_sketch(grid):
+    """The full-graph Cholesky factor and the JL resistance sketch are
+    fraction-independent; reuse must keep the sampled masks identical
+    (the RNG state is restored to its post-sketch position)."""
+    fractions = (0.05, 0.10, 0.20)
+    session = SparsifierSession(grid)
+    warm = [session.sparsify("er_sampling", edge_fraction=f, seed=4)
+            for f in fractions]
+    cold = [sparsify(grid, method="er_sampling", edge_fraction=f, seed=4)
+            for f in fractions]
+    for w, c in zip(warm, cold):
+        np.testing.assert_array_equal(w.edge_mask, c.edge_mask)
+    stats = session.stats()
+    assert stats["misses"]["factor_g"] == 1
+    assert stats["misses"]["er_resistances"] == 1
+    assert stats["hits"]["er_resistances"] == len(fractions) - 1
+
+
+def test_cross_method_sharing(grid):
+    """Methods share the tree/forest/shift artifacts between them."""
+    session = SparsifierSession(grid)
+    session.sparsify("fegrass", edge_fraction=0.1)
+    session.sparsify("grass", edge_fraction=0.1, rounds=2)
+    session.sparsify("proposed", edge_fraction=0.1, rounds=2)
+    stats = session.stats()
+    assert stats["misses"]["tree"] == 1       # mewst computed once
+    assert stats["hits"]["tree"] == 2
+    assert stats["misses"]["forest"] == 1
+    # grass-only artifact exists alongside.
+    assert stats["misses"]["laplacian_g"] == 1
+
+
+def test_grass_repeat_reuses_laplacian(grid):
+    session = SparsifierSession(grid)
+    a = session.sparsify("grass", edge_fraction=0.08, rounds=2, seed=9)
+    b = session.sparsify("grass", edge_fraction=0.12, rounds=2, seed=9)
+    cold_a = sparsify(grid, method="grass", edge_fraction=0.08, rounds=2,
+                      seed=9)
+    cold_b = sparsify(grid, method="grass", edge_fraction=0.12, rounds=2,
+                      seed=9)
+    np.testing.assert_array_equal(a.edge_mask, cold_a.edge_mask)
+    np.testing.assert_array_equal(b.edge_mask, cold_b.edge_mask)
+    assert session.stats()["hits"]["laplacian_g"] == 1
+
+
+def test_fegrass_sweep_reuses_stretch(grid):
+    session = SparsifierSession(grid)
+    for f in (0.05, 0.10, 0.25):
+        warm = session.sparsify("fegrass", edge_fraction=f)
+        cold = sparsify(grid, method="fegrass", edge_fraction=f)
+        np.testing.assert_array_equal(warm.edge_mask, cold.edge_mask)
+    assert session.stats()["hits"]["tree_stretch"] == 2
+
+
+def test_beta_change_is_a_cache_miss(grid):
+    """Artifact keys pin every determining input: a different beta must
+    not be served from the beta=5 tree-phase entry."""
+    session = SparsifierSession(grid)
+    a = session.sparsify("proposed", edge_fraction=0.1, rounds=1, beta=5)
+    b = session.sparsify("proposed", edge_fraction=0.1, rounds=1, beta=2)
+    assert session.stats()["misses"]["tree_phase"] == 2
+    cold_b = sparsify(grid, method="proposed", edge_fraction=0.1, rounds=1,
+                      beta=2)
+    np.testing.assert_array_equal(b.edge_mask, cold_b.edge_mask)
+    # Same budget either way — only the ranking (and hence the mask)
+    # may differ between beta values.
+    assert a.edge_count == b.edge_count
+
+
+def test_run_emits_record_and_sweep_grid(grid):
+    session = SparsifierSession(grid, label="grid14")
+    record = session.run("fegrass", edge_fraction=0.1)
+    assert record.method == "fegrass"
+    assert record.graph["label"] == "grid14"
+    assert record.quality is not None
+    assert record.timings["evaluate_seconds"] >= 0
+
+    bare = session.run("fegrass", evaluate=False, edge_fraction=0.1)
+    assert bare.quality is None
+    assert "evaluate_seconds" not in bare.timings
+
+    records = session.sweep(
+        methods=("proposed", "fegrass"), fractions=(0.05, 0.1),
+        evaluate=False,
+    )
+    assert [(r.method, r.config["edge_fraction"]) for r in records] == [
+        ("proposed", 0.05), ("proposed", 0.1),
+        ("fegrass", 0.05), ("fegrass", 0.1),
+    ]
+
+
+def test_clear_resets_cache(grid):
+    session = SparsifierSession(grid)
+    session.sparsify("fegrass", edge_fraction=0.1)
+    assert len(session.artifacts) > 0
+    session.clear()
+    assert len(session.artifacts) == 0
+    assert session.stats() == {"hits": {}, "misses": {}, "entries": 0}
+
+
+def test_session_on_mesh_matches_cold():
+    mesh = triangular_mesh(150, shape="disk", weights="smooth", seed=5)
+    session = SparsifierSession(mesh)
+    for method in ("proposed", "grass", "fegrass", "er_sampling"):
+        kwargs = {"rounds": 2} if method in ("proposed", "grass") else {}
+        warm = session.sparsify(method, edge_fraction=0.12, seed=1, **kwargs)
+        cold = sparsify(mesh, method=method, edge_fraction=0.12, seed=1,
+                        **kwargs)
+        np.testing.assert_array_equal(warm.edge_mask, cold.edge_mask)

@@ -56,6 +56,22 @@ def test_deterministic(grid):
     np.testing.assert_array_equal(a.edge_mask, b.edge_mask)
 
 
+def test_positional_edge_fraction_still_works(grid):
+    """Back-compat: the pre-registry signature passed edge_fraction as
+    the second positional argument."""
+    old_style = er_sample_sparsify(grid, 0.05, seed=5)
+    new_style = er_sample_sparsify(grid, edge_fraction=0.05, seed=5)
+    np.testing.assert_array_equal(old_style.edge_mask, new_style.edge_mask)
+
+
+def test_wrong_config_type_is_a_clear_error(grid):
+    from repro.core import SparsifierConfig
+    from repro.exceptions import GraphError
+
+    with pytest.raises(GraphError):
+        er_sample_sparsify(grid, SparsifierConfig())
+
+
 def test_quality_beats_tree_alone(grid):
     from repro.linalg import relative_condition_number
 

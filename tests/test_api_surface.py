@@ -30,6 +30,10 @@ def test_version_is_semver():
         "repro.tree",
         "repro.linalg",
         "repro.core",
+        "repro.api",
+        "repro.api.registry",
+        "repro.api.records",
+        "repro.api.session",
         "repro.powergrid",
         "repro.partitioning",
         "repro.utils",

@@ -23,14 +23,47 @@ def test_sparsify_named_case(capsys):
     assert "PCG iterations" in out
 
 
-@pytest.mark.parametrize("method", ["grass", "fegrass"])
-def test_sparsify_baselines(capsys, method):
+def test_sparsify_grass_baseline(capsys):
     code = main(
         ["sparsify", "--case", "tmt_sym", "--scale", "0.04",
-         "--method", method, "--rounds", "2"]
+         "--method", "grass", "--rounds", "2"]
+    )
+    assert code == 0
+    assert "grass" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("method", ["fegrass", "er_sampling"])
+def test_sparsify_single_pass_baselines(capsys, method):
+    code = main(
+        ["sparsify", "--case", "tmt_sym", "--scale", "0.04",
+         "--method", method]
     )
     assert code == 0
     assert method in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "method,flag,value",
+    [
+        ("fegrass", "--rounds", "2"),
+        ("er_sampling", "--rounds", "2"),
+        ("grass", "--workers", "2"),
+        ("fegrass", "--chunk-size", "64"),
+        ("er_sampling", "--beta", "3"),
+    ],
+)
+def test_inapplicable_option_is_hard_error(capsys, method, flag, value):
+    """Regression: flags the method cannot honor used to be silently
+    dropped; the registry-generated CLI must reject them."""
+    code = main(
+        ["sparsify", "--case", "tmt_sym", "--scale", "0.04",
+         "--method", method, flag, value]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    option = flag.lstrip("-").replace("-", "_")
+    assert method in err and option in err
+    assert "supported by" in err  # points at the methods that do accept it
 
 
 def test_sparsify_mtx_file(tmp_path, capsys):
@@ -69,3 +102,95 @@ def test_requires_source_for_sparsify():
 def test_unknown_command():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_transient_inapplicable_option_fails_fast(capsys):
+    """The hard error must fire before the direct simulation runs."""
+    import time
+
+    start = time.perf_counter()
+    code = main(
+        ["transient", "--case", "ibmpg3t", "--scale", "0.08",
+         "--method", "fegrass", "--rounds", "2"]
+    )
+    elapsed = time.perf_counter() - start
+    assert code == 2
+    assert "rounds" in capsys.readouterr().err
+    assert elapsed < 2.0  # no simulation happened
+
+
+def test_methods_lists_registry(capsys):
+    assert main(["methods"]) == 0
+    out = capsys.readouterr().out
+    for name in ("proposed", "grass", "fegrass", "er_sampling"):
+        assert name in out
+    assert "--fraction" in out
+
+
+def test_sparsify_json_roundtrips(capsys):
+    from repro.api import RunRecord
+
+    code = main(
+        ["sparsify", "--case", "ecology2", "--scale", "0.04",
+         "--rounds", "2", "--json"]
+    )
+    assert code == 0
+    record = RunRecord.from_json(capsys.readouterr().out)
+    assert record.method == "proposed"
+    assert record.config["rounds"] == 2
+    assert record.quality["kappa"] > 1.0
+    assert record.timings["sparsify_seconds"] > 0
+    assert RunRecord.from_json(record.to_json()) == record
+
+
+def test_sweep_command(capsys, tmp_path):
+    out_path = tmp_path / "sweep.json"
+    code = main(
+        ["sweep", "--case", "ecology2", "--scale", "0.04",
+         "--methods", "proposed,fegrass", "--fractions", "0.02,0.05",
+         "--rounds", "2", "--output", str(out_path)]
+    )
+    # --rounds applies to proposed only -> hard error covering fegrass.
+    assert code == 2
+
+    code = main(
+        ["sweep", "--case", "ecology2", "--scale", "0.04",
+         "--methods", "proposed,fegrass", "--fractions", "0.02,0.05",
+         "--output", str(out_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "session artifacts" in out
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert len(payload) == 4
+    assert {entry["method"] for entry in payload} == {"proposed", "fegrass"}
+
+
+def test_partition_method_flag(capsys):
+    code = main(
+        ["partition", "--case", "ecology2", "--scale", "0.06",
+         "--method", "fegrass", "--json"]
+    )
+    assert code == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["sparsifier"]["method"] == "fegrass"
+    assert payload["relative_error"] < 0.5
+
+
+def test_transient_json(capsys):
+    code = main(
+        ["transient", "--case", "ibmpg3t", "--scale", "0.08",
+         "--t-end", "1e-9", "--json"]
+    )
+    assert code == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["direct"]["steps"] > 0
+    assert payload["pcg"]["steps"] > 0
+    assert payload["deviation_volts"] < 16e-3
+    assert payload["sparsifier"]["method"] == "proposed"
