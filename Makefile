@@ -16,8 +16,11 @@ bench-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_kernels.py \
 		-q -s -k ranking --benchmark-disable
 
-# Execute every runnable code block in the documentation; fails when a
-# documented command stops working.
+# The documentation gate: the generated API reference must match the
+# registries, the public API must be fully docstringed, and every
+# runnable block in README.md + docs/*.md plus every example must
+# execute cleanly.
 docs-check:
-	$(PYTHONPATH_PREFIX) $(PYTHON) tools/check_docs.py README.md \
-		docs/architecture.md docs/migration.md
+	$(PYTHONPATH_PREFIX) $(PYTHON) tools/gen_api_docs.py --check
+	$(PYTHONPATH_PREFIX) $(PYTHON) tools/check_docstrings.py
+	$(PYTHONPATH_PREFIX) $(PYTHON) tools/check_docs.py

@@ -130,6 +130,86 @@ def test_grass_sparsification(benchmark, name, scale):
     _bench_method(benchmark, name, scale, "grass")
 
 
+# ---------------------------------------------------------------------
+# Cold vs warm, per linalg backend: the persistent artifact cache must
+# let a second process skip setup while reproducing the cold run's
+# RunRecord bit for bit (timings excluded — `RunRecord.fingerprint`).
+# ---------------------------------------------------------------------
+COLD_WARM_CASE = "ecology2"
+COLD_WARM_METHODS = ("proposed", "er_sampling")
+
+_cold_warm_rows: list = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def cold_warm_report():
+    """Emit the backend cold/warm table after its benchmarks ran."""
+    yield
+    if not _cold_warm_rows:
+        return
+    table = Table(
+        ["Case", "method", "backend", "Ts_cold", "Ts_warm",
+         "disk_loads", "identical"]
+    )
+    for row in _cold_warm_rows:
+        table.add_row([
+            row["case"], row["method"], row["backend"],
+            row["ts_cold"], row["ts_warm"],
+            row["disk_loads"], "yes" if row["identical"] else "NO",
+        ])
+    emit("table1_backend_cold_warm", table.render())
+
+
+@pytest.mark.parametrize("method", COLD_WARM_METHODS)
+@pytest.mark.parametrize("backend_name", ["scipy", "numpy"])
+def test_backend_cold_warm(backend_name, method, scale, tmp_path):
+    """One cold + one warm run per (method, backend) into the trajectory."""
+    from repro.api import SparsifierSession
+
+    graph, _ = _graph(COLD_WARM_CASE, scale)
+    records = {}
+    disk_loads = 0
+    for phase in ("cold", "warm"):
+        # A fresh session per phase: the warm one shares nothing
+        # in-memory with the cold one, exactly like a new process.
+        session = SparsifierSession(
+            graph, label=f"{COLD_WARM_CASE}[{backend_name}-{phase}]",
+            cache_dir=tmp_path,
+        )
+        options = {"edge_fraction": EDGE_FRACTION, "seed": 1,
+                   "backend": backend_name}
+        if method == "proposed":
+            options["rounds"] = ROUNDS
+        records[phase] = session.run(method, **options)
+        disk = session.stats()["disk"]
+        if phase == "warm":
+            disk_loads = sum(disk["hits"].values())
+            assert disk_loads > 0, "warm run never touched the disk cache"
+            assert not disk["evictions"], "warm run hit corrupt entries"
+
+    cold, warm = records["cold"], records["warm"]
+
+    # Labels differ by construction; neutralize them in the comparison
+    # only (the trajectory keeps the phase-qualified labels).
+    def _neutral(record):
+        fp = record.fingerprint()
+        fp["graph"] = dict(fp["graph"], label=COLD_WARM_CASE)
+        return fp
+
+    identical = _neutral(cold) == _neutral(warm)
+    assert identical, (
+        f"warm {method}/{backend_name} run diverged from cold"
+    )
+    _cold_warm_rows.append({
+        "case": COLD_WARM_CASE, "method": method, "backend": backend_name,
+        "ts_cold": cold.timings["sparsify_seconds"],
+        "ts_warm": warm.timings["sparsify_seconds"],
+        "disk_loads": disk_loads, "identical": identical,
+    })
+    _records.append(cold)
+    _records.append(warm)
+
+
 @pytest.mark.parametrize("name", CASES)
 def test_proposed_sparsification(benchmark, name, scale):
     row, quality = _bench_method(benchmark, name, scale, "proposed")

@@ -88,8 +88,15 @@ from repro.api import (
     SparsifierSession,
     sparsify,
 )
+from repro.backends import (
+    LinalgBackend,
+    get_backend,
+    list_backends,
+    available_backends,
+    backend_capabilities,
+)
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "Graph",
@@ -148,5 +155,10 @@ __all__ = [
     "RunRecord",
     "SparsifierSession",
     "sparsify",
+    "LinalgBackend",
+    "get_backend",
+    "list_backends",
+    "available_backends",
+    "backend_capabilities",
     "__version__",
 ]

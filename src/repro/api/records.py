@@ -37,19 +37,32 @@ def _jsonify(value):
     return value
 
 
-def capture_environment() -> dict:
-    """Versions that determine a run's numerics (for provenance)."""
+def capture_environment(backend: str | None = None) -> dict:
+    """Versions that determine a run's numerics (for provenance).
+
+    When *backend* names a linalg backend, the dict also records the
+    backend and its capability flags — so a ``BENCH_*.json`` trajectory
+    shows which execution path produced each run.
+    """
     import scipy
 
     import repro
 
-    return {
+    environment = {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "numpy": np.__version__,
         "scipy": scipy.__version__,
         "repro": repro.__version__,
     }
+    if backend is not None:
+        from repro.backends import backend_capabilities
+
+        environment["backend"] = str(backend)
+        environment["backend_capabilities"] = (
+            backend_capabilities().get(str(backend), {})
+        )
+    return environment
 
 
 @dataclass
@@ -125,6 +138,7 @@ class RunRecord:
         quality_dict = None
         if quality is not None:
             quality_dict = _jsonify(dataclasses.asdict(quality))
+        config = _jsonify(config)
         return cls(
             method=method,
             graph={
@@ -133,10 +147,14 @@ class RunRecord:
                 "edges": int(result.graph.edge_count),
                 "sparsifier_edges": int(result.edge_count),
             },
-            config=_jsonify(config),
+            config=config,
             quality=quality_dict,
             rounds_log=_jsonify(result.rounds_log),
             timings=timings,
+            environment=capture_environment(
+                backend=config.get("backend") if isinstance(config, dict)
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -181,6 +199,29 @@ class RunRecord:
     # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
+    def fingerprint(self) -> dict:
+        """The record with every wall-clock field stripped.
+
+        Two runs of the same configuration are *outcome*-identical when
+        their fingerprints are equal — method, graph, config, quality,
+        per-round log and environment all match bit for bit; only
+        elapsed-seconds measurements (which no two runs share) are
+        excluded.  This is the equality the artifact cache's
+        warm-equals-cold guarantee is stated in.
+        """
+        data = self.to_dict()
+        data.pop("timings", None)
+        if data.get("quality"):
+            data["quality"] = {
+                k: v for k, v in data["quality"].items()
+                if k != "pcg_seconds"
+            }
+        data["rounds_log"] = [
+            {k: v for k, v in entry.items() if k != "seconds"}
+            for entry in data["rounds_log"]
+        ]
+        return data
+
     def to_config(self):
         """Reconstruct the method's config dataclass from the record."""
         from repro.api.registry import get_method

@@ -80,12 +80,27 @@ class SparsifierSession:
         The graph every call in this session operates on.
     label : str
         Identifier recorded in emitted :class:`RunRecord` objects.
+    persistent : bool
+        Attach the content-addressed on-disk cache
+        (:class:`~repro.core.diskcache.DiskCache`) so artifacts survive
+        the process: a warm session in a fresh process loads the
+        spanning tree, tree-phase scores, resistance sketches, … from
+        ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) instead of
+        rebuilding them — with bit-identical results.
+    cache_dir : str or pathlib.Path, optional
+        Explicit cache root; implies ``persistent=True``.
     """
 
-    def __init__(self, graph, label: str = "graph") -> None:
+    def __init__(self, graph, label: str = "graph", *,
+                 persistent: bool = False, cache_dir=None) -> None:
         self.graph = graph
         self.label = label
-        self.artifacts = ArtifactStore()
+        disk = None
+        if persistent or cache_dir is not None:
+            from repro.core.diskcache import DiskCache
+
+            disk = DiskCache(graph, root=cache_dir)
+        self.artifacts = ArtifactStore(disk=disk)
 
     # ------------------------------------------------------------------
     # running

@@ -48,7 +48,8 @@ import sys
 
 from repro.api import RunRecord, SparsifierSession, get_method, list_methods
 from repro.api import sparsify as api_sparsify
-from repro.exceptions import ReproError
+from repro.api.docgen import flag_for as _flag_for
+from repro.exceptions import CacheError, ReproError
 from repro.graph import CASE_REGISTRY, make_case, read_graph_mtx
 from repro.partitioning import (
     build_partition_preconditioner,
@@ -70,14 +71,6 @@ from repro.utils.reporting import Table, format_bytes, format_seconds
 # user-provided options reach the method config (and inapplicable ones
 # can be rejected instead of silently ignored).
 _UNSET = object()
-
-# CLI spelling of config fields that predates the registry.
-_FLAG_ALIASES = {"edge_fraction": "fraction"}
-
-
-def _flag_for(option: str) -> str:
-    return "--" + _FLAG_ALIASES.get(option, option).replace("_", "-")
-
 
 def _method_option_table() -> dict:
     """Merge the option specs of every registered method.
@@ -155,7 +148,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("cases", help="list registered graph and PG cases")
-    sub.add_parser("methods", help="list registered sparsifier methods")
+    methods = sub.add_parser(
+        "methods", help="list registered sparsifier methods and backends"
+    )
+    methods.add_argument(
+        "--markdown", action="store_true",
+        help="emit the generated API reference (docs/api-reference.md)",
+    )
 
     sparsify = sub.add_parser("sparsify", help="sparsify a graph")
     _add_graph_source(sparsify)
@@ -177,6 +176,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit the RunRecords as JSON")
     sweep.add_argument("--output", default=None,
                        help="also write the RunRecords to this JSON file")
+    sweep.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="persist session artifacts on disk (REPRO_CACHE_DIR or "
+        "~/.cache/repro) so a second run skips setup; --no-cache keeps "
+        "the session memory-only",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="explicit cache root (overrides REPRO_CACHE_DIR)",
+    )
     _add_method_flags(sweep, skip=("edge_fraction",))
 
     transient = sub.add_parser("transient", help="PG transient comparison")
@@ -217,7 +226,12 @@ def _cmd_cases(_args) -> int:
     return 0
 
 
-def _cmd_methods(_args) -> int:
+def _cmd_methods(args) -> int:
+    if getattr(args, "markdown", False):
+        from repro.api.docgen import api_reference_markdown
+
+        print(api_reference_markdown(), end="")
+        return 0
     table = Table(["method", "deterministic", "rounds", "workers",
                    "options", "description"])
     for name in list_methods():
@@ -231,6 +245,20 @@ def _cmd_methods(_args) -> int:
             spec.description,
         ])
     print(table.render())
+    backends = Table(["backend", "available", "compiled", "persistent",
+                      "description"])
+    from repro.backends import backend_capabilities, backend_description
+
+    for name, caps in sorted(backend_capabilities().items()):
+        backends.add_row([
+            name,
+            "yes" if caps["available"] else "no",
+            "yes" if caps["compiled_factorization"] else "-",
+            "yes" if caps["persistent_factors"] else "-",
+            backend_description(name),
+        ])
+    print()
+    print(backends.render())
     return 0
 
 
@@ -263,10 +291,18 @@ def _cmd_sparsify(args) -> int:
 def _cmd_sweep(args) -> int:
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
     fractions = [float(f) for f in args.fractions.split(",") if f.strip()]
+    if not args.cache and args.cache_dir is not None:
+        raise CacheError(
+            "--no-cache and --cache-dir contradict each other; drop one"
+        )
     options = _provided_options(args, methods=methods)
     seed = int(options.get("seed", 0))
     graph, label = _load_graph(args, seed)
-    session = SparsifierSession(graph, label=label)
+    session = SparsifierSession(
+        graph, label=label,
+        persistent=args.cache,
+        cache_dir=args.cache_dir,
+    )
     records = session.sweep(methods, fractions, **options)
     payload = [record.to_dict() for record in records]
     if args.output:
@@ -293,6 +329,19 @@ def _cmd_sweep(args) -> int:
     print(f"session artifacts: {stats['entries']} cached, "
           f"{reused} reuse hits "
           f"({', '.join(f'{k}={v}' for k, v in sorted(stats['hits'].items()))})")
+    disk = stats.get("disk")
+    if disk is not None:
+        loaded = sum(disk["hits"].values())
+        stored = sum(disk["stores"].values())
+        print(f"disk cache [{disk['root']}]: {loaded} loaded, "
+              f"{stored} stored"
+              + (f", {sum(disk['evictions'].values())} corrupt evicted"
+                 if disk["evictions"] else "")
+              + (f", {sum(disk['errors'].values())} write errors "
+                 "(cache root unwritable? results unaffected)"
+                 if disk["errors"] else "")
+              + (" (warm run: setup skipped)" if loaded and not stored
+                 else ""))
     return 0
 
 

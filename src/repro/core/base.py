@@ -47,15 +47,34 @@ class BaseSparsifierConfig:
     seed : int
         Seed of the method's random stream (recorded even for
         deterministic methods, for API symmetry).
+    backend : str
+        Linear-algebra backend executing the method's factorizations,
+        solves, sketches and SPAI columns: ``"scipy"`` (default,
+        compiled SuperLU), ``"numpy"`` (pure-numpy reference) or
+        ``"cholmod"`` (scikit-sparse, when installed).  See
+        :mod:`repro.backends`.
     """
 
     edge_fraction: float = 0.10
     seed: int = 0
+    backend: str = "scipy"
 
     def validate(self) -> None:
-        """Raise :class:`~repro.exceptions.GraphError` on bad knobs."""
+        """Raise on bad knobs (:class:`~repro.exceptions.GraphError`
+        for numeric ranges, :class:`~repro.exceptions.BackendError` for
+        unknown/unavailable backends)."""
         if not 0.0 <= self.edge_fraction:
             raise GraphError("edge_fraction must be nonnegative")
+        # Deferred so this module stays import-light (module docstring).
+        from repro.backends import check_backend
+
+        check_backend(self.backend)
+
+    def resolve_backend(self):
+        """The validated :class:`~repro.backends.LinalgBackend` instance."""
+        from repro.backends import get_backend
+
+        return get_backend(self.backend)
 
     def to_dict(self) -> dict:
         """All options as a plain ``{name: value}`` dict (JSON-safe)."""
@@ -86,8 +105,16 @@ class ArtifactStore:
     :class:`~repro.api.SparsifierSession` owns one); entries are keyed
     by ``(kind, key)`` where *key* pins down every input that
     determines the artifact — e.g. ``("tree", ("mewst",))`` or
-    ``("factor_g", (reg_rel,))``.  Stored values are treated as
+    ``("factor_g", (reg_rel, backend))``.  Stored values are treated as
     read-only by all consumers, which is what makes reuse bit-exact.
+
+    With a :class:`~repro.core.diskcache.DiskCache` attached, misses
+    consult the on-disk layer before building, and freshly built
+    artifacts are written through — so the artifacts survive the
+    process and a warm run in a new process skips setup entirely.
+    Disk traffic is tracked separately (``stats()["disk"]``): the
+    in-memory ``hits``/``misses`` counters keep their pre-disk meaning
+    ("was it already in *this* store").
 
     Examples
     --------
@@ -100,32 +127,57 @@ class ArtifactStore:
     {'tree': 1}
     """
 
-    def __init__(self) -> None:
+    def __init__(self, disk=None) -> None:
         self._entries: dict = {}
+        self.disk = disk
         self.hits: Counter = Counter()
         self.misses: Counter = Counter()
 
     def get(self, kind: str, key: tuple, build):
-        """Return the cached artifact, building (and storing) on miss."""
+        """Return the cached artifact, building (and storing) on miss.
+
+        Lookup order: this store's memory, then the attached disk
+        cache (if any), then *build* — whose result is written through
+        to both layers.
+        """
         slot = (kind, key)
         if slot in self._entries:
             self.hits[kind] += 1
             return self._entries[slot]
         self.misses[kind] += 1
+        if self.disk is not None:
+            found, value = self.disk.load(kind, key)
+            if found:
+                self._entries[slot] = value
+                return value
         value = build()
         self._entries[slot] = value
+        if self.disk is not None:
+            self.disk.store_best_effort(kind, key, value)
         return value
 
     def stats(self) -> dict:
-        """Hit/miss counters per artifact kind plus the entry count."""
-        return {
+        """Hit/miss counters per artifact kind plus the entry count.
+
+        When a disk cache is attached the dict gains a ``"disk"`` block
+        with its own per-kind ``hits``/``misses``/``stores``/``skips``/
+        ``evictions``/``errors`` counters.
+        """
+        stats = {
             "hits": dict(self.hits),
             "misses": dict(self.misses),
             "entries": len(self._entries),
         }
+        if self.disk is not None:
+            stats["disk"] = self.disk.stats()
+        return stats
 
     def clear(self) -> None:
-        """Drop every cached artifact and reset the counters."""
+        """Drop every cached artifact and reset the counters.
+
+        Only the in-memory layer is dropped; use ``store.disk.clear()``
+        to delete the persistent entries too.
+        """
         self._entries.clear()
         self.hits.clear()
         self.misses.clear()

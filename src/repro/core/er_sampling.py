@@ -33,7 +33,6 @@ from repro.graph.laplacian import (
     regularization_shift,
     regularized_laplacian,
 )
-from repro.linalg.cholesky import cholesky
 from repro.tree.spanning import mewst
 from repro.utils.rng import as_rng
 from repro.utils.timers import Timer
@@ -60,7 +59,8 @@ class ErSamplingConfig(BaseSparsifierConfig):
 
 
 def approximate_effective_resistances(
-    graph: Graph, sketch_size=None, reg_rel=1e-6, seed=0, factor=None
+    graph: Graph, sketch_size=None, reg_rel=1e-6, seed=0, factor=None,
+    backend=None,
 ) -> np.ndarray:
     """JL-sketched effective resistance of every edge.
 
@@ -74,12 +74,19 @@ def approximate_effective_resistances(
     factor:
         Optional precomputed Cholesky factor of the regularized
         Laplacian (sessions pass it to skip the refactorization).
+    backend:
+        :class:`~repro.backends.LinalgBackend` executing the
+        factorization and sketch solves (default ``"scipy"``).
 
     Returns
     -------
     numpy.ndarray
         Approximate ``R_eff`` per edge, aligned with the edge arrays.
     """
+    if backend is None:
+        from repro.backends import get_backend
+
+        backend = get_backend()
     rng = as_rng(seed)
     n = graph.n
     if sketch_size is None:
@@ -87,14 +94,10 @@ def approximate_effective_resistances(
     if factor is None:
         shift = regularization_shift(graph, reg_rel)
         laplacian = regularized_laplacian(graph, shift)
-        factor = cholesky(laplacian)
+        factor = backend.factorize(laplacian)
     incidence = incidence_matrix(graph, weighted=True)  # m x n, W^(1/2) B
     # Sketch rows: y_i = L^{-1} (B^T W^{1/2} q_i), q_i ~ Rademacher/sqrt(k).
-    sketch = np.empty((sketch_size, n))
-    scale = 1.0 / np.sqrt(sketch_size)
-    for i in range(sketch_size):
-        q = rng.choice((-scale, scale), size=graph.edge_count)
-        sketch[i] = factor.solve(incidence.T @ q)
+    sketch = backend.sketch_matvecs(factor, incidence, sketch_size, rng)
     diffs = sketch[:, graph.u] - sketch[:, graph.v]
     return np.sum(diffs * diffs, axis=0)
 
@@ -143,6 +146,7 @@ def er_sample_sparsify(graph: Graph, config=None, *, artifacts=None,
 def _run(graph: Graph, config: ErSamplingConfig,
          artifacts=None) -> SparsifierResult:
     rng = as_rng(config.seed)
+    backend = config.resolve_backend()
     if config.include_tree:
         tree_ids = shared_artifact(
             artifacts, "tree", ("mewst",), lambda: mewst(graph)
@@ -160,18 +164,19 @@ def _run(graph: Graph, config: ErSamplingConfig,
             lambda: regularization_shift(graph, config.reg_rel),
         )
         factor = shared_artifact(
-            artifacts, "factor_g", (config.reg_rel,),
-            lambda: cholesky(regularized_laplacian(graph, shift)),
+            artifacts, "factor_g", (config.reg_rel, config.backend),
+            lambda: backend.factorize(regularized_laplacian(graph, shift)),
         )
         values = approximate_effective_resistances(
             graph, sketch_size=config.sketch_size, reg_rel=config.reg_rel,
-            seed=rng, factor=factor,
+            seed=rng, factor=factor, backend=backend,
         )
         return values, rng.bit_generator.state
 
     resistances, rng_state = shared_artifact(
         artifacts, "er_resistances",
-        (config.sketch_size, config.reg_rel, config.seed), _resistances,
+        (config.sketch_size, config.reg_rel, config.seed, config.backend),
+        _resistances,
     )
     rng.bit_generator.state = rng_state
     leverage = graph.w * resistances

@@ -26,7 +26,6 @@ from repro.core.sparsifier import SparsifierResult, _pick_edges
 from repro.exceptions import GraphError
 from repro.graph.graph import Graph
 from repro.graph.laplacian import regularization_shift, regularized_laplacian
-from repro.linalg.cholesky import cholesky
 from repro.tree.rooted import RootedForest
 from repro.tree.spanning import bfs_spanning_forest, maximum_spanning_forest, mewst
 from repro.utils.rng import as_rng
@@ -64,6 +63,9 @@ class GrassConfig(BaseSparsifierConfig):
             raise GraphError("probe_vectors must be >= 1")
         if self.tree_method not in _TREE_METHODS:
             raise GraphError(f"unknown tree_method {self.tree_method!r}")
+        from repro.backends import check_factorization_mode
+
+        check_factorization_mode(self.backend, self.cholesky_backend)
 
 
 def perturbation_criticality(
@@ -126,6 +128,7 @@ def _run(graph: Graph, config: GrassConfig,
     n = graph.n
     m = graph.edge_count
     rng = as_rng(config.seed)
+    backend = config.resolve_backend()
     shift = shared_artifact(
         artifacts, "shift", (config.reg_rel,),
         lambda: regularization_shift(graph, config.reg_rel),
@@ -159,7 +162,9 @@ def _run(graph: Graph, config: GrassConfig,
         with round_timer:
             subgraph = graph.subgraph(edge_mask)
             laplacian_s = regularized_laplacian(subgraph, shift)
-            factor = cholesky(laplacian_s, backend=config.cholesky_backend)
+            factor = backend.factorize(
+                laplacian_s, mode=config.cholesky_backend
+            )
             candidates = np.flatnonzero(~edge_mask & ~marker.marked)
             if len(candidates) == 0:
                 break

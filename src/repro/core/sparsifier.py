@@ -44,8 +44,6 @@ from repro.core.similarity import SimilarityMarker
 from repro.exceptions import GraphError
 from repro.graph.graph import Graph
 from repro.graph.laplacian import regularization_shift, regularized_laplacian
-from repro.linalg.cholesky import cholesky
-from repro.linalg.spai import sparse_approximate_inverse
 from repro.tree.spanning import bfs_spanning_forest, maximum_spanning_forest, mewst
 from repro.utils.timers import Timer
 
@@ -85,8 +83,14 @@ class SparsifierConfig(BaseSparsifierConfig):
     reg_rel : float
         Relative diagonal shift regularizing singular Laplacians
         (footnote 1 of the paper).
+    backend : str
+        Linear-algebra backend executing the per-round factorizations
+        and SPAI columns (inherited from
+        :class:`~repro.core.base.BaseSparsifierConfig`).
     cholesky_backend : str
-        Backend passed to :func:`repro.linalg.cholesky.cholesky`.
+        Legacy refinement of the scipy backend's factorization path
+        (``"auto"`` | ``"superlu"`` | ``"python"``); other backends
+        ignore it.
     seed : int
         Seed recorded for API symmetry with the randomized baselines
         (Algorithm 2 itself is deterministic).
@@ -144,6 +148,9 @@ class SparsifierConfig(BaseSparsifierConfig):
             raise GraphError("chunk_size must be >= 0 (0 = auto)")
         if self.cache_max_nodes is not None and self.cache_max_nodes < 0:
             raise GraphError("cache_max_nodes must be >= 0 or None")
+        from repro.backends import check_factorization_mode
+
+        check_factorization_mode(self.backend, self.cholesky_backend)
 
 
 @dataclass
@@ -185,6 +192,7 @@ class SparsifierResult:
 
     @property
     def edge_count(self) -> int:
+        """Number of edges kept in the sparsifier."""
         return int(self.edge_mask.sum())
 
 
@@ -267,6 +275,7 @@ def _run(graph: Graph, config: SparsifierConfig,
          artifacts=None) -> SparsifierResult:
     n = graph.n
     m = graph.edge_count
+    backend = config.resolve_backend()
     shift = shared_artifact(
         artifacts, "shift", (config.reg_rel,),
         lambda: regularization_shift(graph, config.reg_rel),
@@ -344,8 +353,8 @@ def _run(graph: Graph, config: SparsifierConfig,
             with round_timer:
                 subgraph = graph.subgraph(edge_mask)
                 laplacian_s = regularized_laplacian(subgraph, shift)
-                factor = cholesky(
-                    laplacian_s, backend=config.cholesky_backend
+                factor = backend.factorize(
+                    laplacian_s, mode=config.cholesky_backend
                 )
                 candidates = np.flatnonzero(~edge_mask & ~marker.marked)
                 if len(candidates) == 0:
@@ -358,9 +367,7 @@ def _run(graph: Graph, config: SparsifierConfig,
                     cache.attach_subgraph(
                         sub_indptr, sub_nbr, invalidate=touched
                     )
-                    Z = sparse_approximate_inverse(
-                        factor.L, delta=config.delta
-                    )
+                    Z = backend.spai_columns(factor.L, delta=config.delta)
                     ranker = ApproxRanker(
                         graph, subgraph, factor, Z,
                         beta=config.beta, cache=cache,

@@ -33,6 +33,7 @@ class PCGResult:
 
     @property
     def relative_residual(self) -> float:
+        """Final ``||b - A x|| / ||b||`` (0 for a zero right-hand side)."""
         if self.rhs_norm == 0:
             return 0.0
         return self.residual_norm / self.rhs_norm

@@ -102,6 +102,7 @@ class RootedForest:
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
+        """Node count of the parent graph."""
         return self.graph.n
 
     def tree_edge_mask(self) -> np.ndarray:

@@ -14,6 +14,16 @@ from repro.linalg import cholesky
 from repro.tree import RootedForest, mewst
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the persistent artifact cache at a per-test directory.
+
+    No test may read or pollute the developer's real ``~/.cache/repro``
+    — and no test may go warm off another test's (or an earlier test
+    run's) artifacts."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture(scope="session")
 def small_grid():
     """8x8 grid with random weights (64 nodes, 112 edges)."""

@@ -168,6 +168,64 @@ def test_sweep_command(capsys, tmp_path):
     assert {entry["method"] for entry in payload} == {"proposed", "fegrass"}
 
 
+def test_sweep_rejects_no_cache_with_cache_dir(capsys, tmp_path):
+    code = main(
+        ["sweep", "--case", "ecology2", "--scale", "0.04",
+         "--no-cache", "--cache-dir", str(tmp_path)]
+    )
+    assert code == 2
+    assert "contradict" in capsys.readouterr().err
+
+
+def test_sweep_warm_run_reports_setup_skipped(capsys, tmp_path):
+    argv = ["sweep", "--case", "ecology2", "--scale", "0.04",
+            "--methods", "er_sampling", "--fractions", "0.05",
+            "--cache-dir", str(tmp_path / "cache")]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "0 loaded" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "warm run: setup skipped" in warm
+    # Outcome columns identical; only wall-clock (Ts_s, the last
+    # column) and the disk-stats lines may differ.
+    strip = lambda text: [line.rsplit("|", 1)[0]
+                          for line in text.splitlines() if "|" in line]
+    assert strip(cold) == strip(warm)
+
+
+def test_sparsify_backend_flag_in_record(capsys):
+    code = main(
+        ["sparsify", "--case", "ecology2", "--scale", "0.04",
+         "--method", "er_sampling", "--backend", "numpy", "--json"]
+    )
+    assert code == 0
+    import json
+
+    record = json.loads(capsys.readouterr().out)
+    assert record["config"]["backend"] == "numpy"
+    assert record["environment"]["backend"] == "numpy"
+
+
+def test_sparsify_unknown_backend_is_usage_error(capsys):
+    code = main(
+        ["sparsify", "--case", "ecology2", "--scale", "0.04",
+         "--backend", "blas9000"]
+    )
+    assert code == 2
+    assert "unknown linalg backend" in capsys.readouterr().err
+
+
+def test_methods_lists_backends_and_markdown(capsys):
+    assert main(["methods"]) == 0
+    out = capsys.readouterr().out
+    assert "scipy" in out and "numpy" in out and "cholmod" in out
+    assert main(["methods", "--markdown"]) == 0
+    markdown = capsys.readouterr().out
+    assert markdown.startswith("<!-- GENERATED")
+    assert "## Linear-algebra backends" in markdown
+
+
 def test_partition_method_flag(capsys):
     code = main(
         ["partition", "--case", "ecology2", "--scale", "0.06",

@@ -1,10 +1,13 @@
 #!/usr/bin/env python
-"""Execute every runnable code block in the given markdown files.
+"""Execute every runnable code block in the documentation.
 
-``make docs-check`` runs this over ``README.md`` and
-``docs/architecture.md`` so documentation that drifts from the code
-fails CI instead of misleading readers — the doctest idea applied to
-fenced blocks.
+Without arguments the checker covers the whole documentation surface:
+``README.md`` plus everything ``docs/*.md`` globs to, and — unless
+``--no-examples`` — every ``examples/*.py`` as a smoke test.  Passing
+explicit markdown paths restricts the run to those files (no
+examples).  ``make docs-check`` runs the no-argument form, so
+documentation that drifts from the code fails CI instead of
+misleading readers — the doctest idea applied to fenced blocks.
 
 Rules
 -----
@@ -15,8 +18,11 @@ Rules
 * a block preceded by an HTML comment ``<!-- docs-check: skip -->``
   is skipped.
 
-Every block runs from the repository root with ``src`` prepended to
-``PYTHONPATH``, mirroring the instructions the README gives readers.
+Every block (and example) runs from the repository root with ``src``
+prepended to ``PYTHONPATH``, mirroring the instructions the README
+gives readers, and is killed after ``--timeout`` seconds (default
+600) so one hung snippet cannot stall CI — that per-process cap is
+the docs-check budget.
 """
 
 from __future__ import annotations
@@ -70,44 +76,115 @@ def extract_blocks(text: str):
         yield language, start, "\n".join(body) + "\n"
 
 
-def run_block(language: str, source: str) -> subprocess.CompletedProcess:
+def _run_env() -> dict:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
-    return subprocess.run(
-        RUNNERS[language],
-        input=source,
-        text=True,
-        capture_output=True,
-        cwd=REPO_ROOT,
-        env=env,
-        timeout=600,
+    return env
+
+
+def _run_capped(command, timeout: float, **kwargs):
+    """Run a process under the budget; a timeout is a failure, not a
+    crash of the whole gate — remaining files must still be checked."""
+    try:
+        return subprocess.run(
+            command,
+            text=True,
+            capture_output=True,
+            cwd=REPO_ROOT,
+            env=_run_env(),
+            timeout=timeout,
+            **kwargs,
+        )
+    except subprocess.TimeoutExpired as exc:
+        stdout = exc.stdout or b""
+        stderr = exc.stderr or b""
+        return subprocess.CompletedProcess(
+            command, returncode=124,
+            stdout=stdout.decode(errors="replace")
+            if isinstance(stdout, bytes) else stdout,
+            stderr=(stderr.decode(errors="replace")
+                    if isinstance(stderr, bytes) else stderr)
+            + f"\nTIMEOUT: exceeded the {timeout:.0f}s docs-check budget\n",
+        )
+
+
+def run_block(language: str, source: str,
+              timeout: float) -> subprocess.CompletedProcess:
+    return _run_capped(RUNNERS[language], timeout, input=source)
+
+
+def default_targets() -> list:
+    """README plus every markdown file under ``docs/``."""
+    targets = ["README.md"]
+    targets.extend(
+        sorted(
+            str(path.relative_to(REPO_ROOT))
+            for path in (REPO_ROOT / "docs").glob("*.md")
+        )
     )
+    return targets
+
+
+def _report(label: str, proc, failures: int) -> int:
+    if proc.returncode == 0:
+        print(f"ok    {label}")
+        return failures
+    print(f"FAIL  {label} (exit {proc.returncode})")
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    return failures + 1
 
 
 def main(argv) -> int:
-    if not argv:
-        argv = ["README.md", "docs/architecture.md"]
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files", nargs="*",
+        help="markdown files to check (default: README.md + docs/*.md "
+        "+ examples smoke tests)",
+    )
+    parser.add_argument(
+        "--no-examples", action="store_true",
+        help="skip the examples/*.py smoke tests",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600,
+        help="per-block / per-example budget in seconds (default 600)",
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or default_targets()
+    run_examples = not args.no_examples and not args.files
+
     failures = 0
     total = 0
-    for name in argv:
+    for name in files:
         path = REPO_ROOT / name
         text = path.read_text()
         for language, line, source in extract_blocks(text):
             if language not in RUNNERS:
                 continue
             total += 1
-            proc = run_block(language, source)
-            label = f"{name}:{line} [{language}]"
-            if proc.returncode == 0:
-                print(f"ok    {label}")
-            else:
-                failures += 1
-                print(f"FAIL  {label} (exit {proc.returncode})")
-                sys.stdout.write(proc.stdout)
-                sys.stderr.write(proc.stderr)
-    print(f"docs-check: {total - failures}/{total} runnable blocks passed")
+            proc = run_block(language, source, args.timeout)
+            failures = _report(f"{name}:{line} [{language}]",
+                               proc, failures)
+    examples = []
+    if run_examples:
+        examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+        for example in examples:
+            total += 1
+            proc = _run_capped(
+                [sys.executable, str(example)], args.timeout
+            )
+            name = example.relative_to(REPO_ROOT)
+            failures = _report(f"{name} [example]", proc, failures)
+    print(
+        f"docs-check: {total - failures}/{total} runnable blocks passed "
+        f"({len(files)} docs, {len(examples)} examples)"
+    )
     return 1 if failures else 0
 
 
