@@ -11,10 +11,12 @@ test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
 
 # Quick perf sanity: batched-vs-serial ranking comparison (>= 20k nodes)
-# plus the kernel microbenches in statistics-free mode.
+# plus a sharded-pipeline smoke run, both in statistics-free mode.
 bench-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_kernels.py \
 		-q -s -k ranking --benchmark-disable
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_sharding.py \
+		-q -s --benchmark-disable
 
 # The documentation gate: the generated API reference must match the
 # registries, the public API must be fully docstringed, and every

@@ -34,6 +34,9 @@ from repro.graph import (
     circuit_grid,
     make_case,
     read_graph_mtx,
+    read_graph_mtx_streaming,
+    read_mtx_shard,
+    read_mtx_boundary,
     write_graph_mtx,
 )
 from repro.tree import (
@@ -57,6 +60,9 @@ from repro.core import (
     BaseSparsifierConfig,
     SparsifierConfig,
     SparsifierResult,
+    ShardPlan,
+    partition_shards,
+    sharded_sparsify,
     EdgeRanker,
     BallBundle,
     BallCache,
@@ -64,6 +70,7 @@ from repro.core import (
     ExactRanker,
     ApproxRanker,
     score_edges,
+    parallel_map,
     grass_sparsify,
     GrassConfig,
     fegrass_sparsify,
@@ -96,7 +103,7 @@ from repro.backends import (
     backend_capabilities,
 )
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "Graph",
@@ -110,6 +117,9 @@ __all__ = [
     "circuit_grid",
     "make_case",
     "read_graph_mtx",
+    "read_graph_mtx_streaming",
+    "read_mtx_shard",
+    "read_mtx_boundary",
     "write_graph_mtx",
     "mewst",
     "maximum_spanning_forest",
@@ -127,6 +137,9 @@ __all__ = [
     "BaseSparsifierConfig",
     "SparsifierConfig",
     "SparsifierResult",
+    "ShardPlan",
+    "partition_shards",
+    "sharded_sparsify",
     "EdgeRanker",
     "BallBundle",
     "BallCache",
@@ -134,6 +147,7 @@ __all__ = [
     "ExactRanker",
     "ApproxRanker",
     "score_edges",
+    "parallel_map",
     "grass_sparsify",
     "GrassConfig",
     "fegrass_sparsify",

@@ -37,6 +37,19 @@ def _jsonify(value):
     return value
 
 
+def _strip_seconds(value):
+    """Drop every wall-clock field (``seconds`` / ``*_seconds`` keys)
+    from a nested dict/list structure (for :meth:`RunRecord.fingerprint`)."""
+    if isinstance(value, dict):
+        return {
+            k: _strip_seconds(v) for k, v in value.items()
+            if not (k == "seconds" or k.endswith("_seconds"))
+        }
+    if isinstance(value, list):
+        return [_strip_seconds(v) for v in value]
+    return value
+
+
 def capture_environment(backend: str | None = None) -> dict:
     """Versions that determine a run's numerics (for provenance).
 
@@ -83,10 +96,20 @@ class RunRecord:
         when the run was not evaluated).
     rounds_log:
         The per-round diagnostics of the
-        :class:`~repro.core.sparsifier.SparsifierResult`.
+        :class:`~repro.core.sparsifier.SparsifierResult` (sharded runs
+        tag every entry with its shard index).
     timings:
-        At least ``sparsify_seconds``; ``evaluate_seconds`` when a
-        quality evaluation ran.
+        At least ``sparsify_seconds`` (compute time, cache-restore I/O
+        excluded); ``restore_seconds`` when the run restored artifacts
+        from a persistent cache — for serial runs the two sum to the
+        sparsification wall clock, while concurrently restoring shards
+        can make the summed restore exceed the elapsed time (compute is
+        then clamped at 0) — and ``evaluate_seconds`` when a quality
+        evaluation ran.
+    sharding:
+        Shard-parallel diagnostics (shard sizes, per-shard timings,
+        cut statistics) when the run used ``shards > 1``; ``None``
+        otherwise.
     environment:
         Output of :func:`capture_environment`.
     """
@@ -98,6 +121,7 @@ class RunRecord:
     rounds_log: list = field(default_factory=list)
     timings: dict = field(default_factory=dict)
     environment: dict = field(default_factory=capture_environment)
+    sharding: dict | None = None
     schema_version: int = SCHEMA_VERSION
 
     # ------------------------------------------------------------------
@@ -132,7 +156,18 @@ class RunRecord:
             config = config.to_dict()
         elif dataclasses.is_dataclass(config):
             config = dataclasses.asdict(config)
-        timings = {"sparsify_seconds": float(result.setup_seconds)}
+        restore = float(getattr(result, "restore_seconds", 0.0) or 0.0)
+        # Cache-restore I/O is split out of the compute time so warm-run
+        # speedups are attributable; the two sum to the wall clock.
+        # (Clamped: concurrent shards can restore in parallel, so their
+        # summed restore time may exceed the elapsed wall clock.)
+        timings = {
+            "sparsify_seconds": max(
+                float(result.setup_seconds) - restore, 0.0
+            )
+        }
+        if restore > 0.0:
+            timings["restore_seconds"] = restore
         if evaluate_seconds is not None:
             timings["evaluate_seconds"] = float(evaluate_seconds)
         quality_dict = None
@@ -155,6 +190,7 @@ class RunRecord:
                 backend=config.get("backend") if isinstance(config, dict)
                 else None
             ),
+            sharding=_jsonify(getattr(result, "sharding", None)),
         )
 
     # ------------------------------------------------------------------
@@ -171,6 +207,7 @@ class RunRecord:
             "rounds_log": self.rounds_log,
             "timings": self.timings,
             "environment": self.environment,
+            "sharding": self.sharding,
         }
 
     @classmethod
@@ -184,6 +221,7 @@ class RunRecord:
             rounds_log=data.get("rounds_log", []),
             timings=data.get("timings", {}),
             environment=data.get("environment", {}),
+            sharding=data.get("sharding"),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
 
@@ -220,6 +258,8 @@ class RunRecord:
             {k: v for k, v in entry.items() if k != "seconds"}
             for entry in data["rounds_log"]
         ]
+        if data.get("sharding"):
+            data["sharding"] = _strip_seconds(data["sharding"])
         return data
 
     def to_config(self):

@@ -33,6 +33,13 @@ bit-identical to the serial run (``--workers 0`` means one per CPU)::
 
     repro sparsify --case ecology2 --workers 4 --chunk-size 2048
 
+Large graphs can be cut into shards that are sparsified independently
+(and concurrently, when ``--workers`` asks for it) and stitched back
+together with the cut edges — see ``docs/scaling.md``::
+
+    repro sparsify --case ecology2 --shards 4 --workers 4
+    repro sparsify --case ecology2 --shards 4 --boundary-policy sample
+
 Power-grid transient comparison (Table 2) and spectral partitioning
 comparison (Table 3), both accepting any registered ``--method``::
 
@@ -285,6 +292,24 @@ def _cmd_sparsify(args) -> int:
     table.add_row(["sparsify seconds", format_seconds(result.setup_seconds)])
     table.add_row(["factor nnz", quality.factor_nnz])
     print(table.render())
+    if result.sharding is not None:
+        info = result.sharding
+        cut = info["cut"]
+        shard_times = ", ".join(
+            format_seconds(entry["sparsify_seconds"])
+            for entry in info["per_shard"]
+        )
+        print(
+            f"shards: {info['shards']} "
+            f"({', '.join(str(e['nodes']) for e in info['per_shard'])} "
+            f"nodes), boundary_policy={info['boundary_policy']}: "
+            f"kept {cut['kept_edges']}/{cut['edges']} cut edges"
+        )
+        print(
+            f"per-shard sparsify seconds: {shard_times}; partition "
+            f"{format_seconds(info['partition_seconds'])}, stitch "
+            f"{format_seconds(info['stitch_seconds'])}"
+        )
     return 0
 
 

@@ -36,6 +36,7 @@ from repro.core.ranking import (
 from repro.core.parallel import (
     DEFAULT_CHUNK_SIZE,
     chunk_spans,
+    parallel_map,
     resolve_workers,
     score_edges,
 )
@@ -44,6 +45,13 @@ from repro.core.sparsifier import (
     SparsifierConfig,
     SparsifierResult,
     trace_reduction_sparsify,
+)
+from repro.core.sharding import (
+    ShardPlan,
+    induced_subgraph,
+    partition_shards,
+    select_boundary_edges,
+    sharded_sparsify,
 )
 from repro.core.grass import GrassConfig, grass_sparsify, perturbation_criticality
 from repro.core.fegrass import FegrassConfig, fegrass_sparsify
@@ -76,12 +84,18 @@ __all__ = [
     "ApproxRanker",
     "DEFAULT_CHUNK_SIZE",
     "chunk_spans",
+    "parallel_map",
     "resolve_workers",
     "score_edges",
     "SimilarityMarker",
     "SparsifierConfig",
     "SparsifierResult",
     "trace_reduction_sparsify",
+    "ShardPlan",
+    "induced_subgraph",
+    "partition_shards",
+    "select_boundary_edges",
+    "sharded_sparsify",
     "GrassConfig",
     "grass_sparsify",
     "perturbation_criticality",

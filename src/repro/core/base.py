@@ -26,8 +26,18 @@ from collections import Counter
 from dataclasses import dataclass, fields, replace
 
 from repro.exceptions import GraphError
+from repro.utils.timers import Timer
 
-__all__ = ["BaseSparsifierConfig", "ArtifactStore", "shared_artifact"]
+__all__ = [
+    "BOUNDARY_POLICIES",
+    "BaseSparsifierConfig",
+    "ArtifactStore",
+    "shared_artifact",
+]
+
+#: How the shard-parallel pipeline treats cut (inter-shard) edges; see
+#: :mod:`repro.core.sharding`.
+BOUNDARY_POLICIES = ("keep", "sample")
 
 
 @dataclass(kw_only=True)
@@ -53,11 +63,27 @@ class BaseSparsifierConfig:
         compiled SuperLU), ``"numpy"`` (pure-numpy reference) or
         ``"cholmod"`` (scikit-sparse, when installed).  See
         :mod:`repro.backends`.
+    shards : int
+        Shard-parallel pipeline (:mod:`repro.core.sharding`): ``1``
+        (default) sparsifies the graph in one piece — byte-identical to
+        the pre-sharding code path; ``N > 1`` recursively bipartitions
+        the node set via the Fiedler machinery into ``N`` blocks,
+        sparsifies each block independently (optionally concurrently)
+        and stitches the results, treating cut edges per
+        ``boundary_policy``.
+    boundary_policy : str
+        What happens to the cut (inter-shard) edges when ``shards >
+        1``: ``"keep"`` (default) retains every cut edge verbatim —
+        the spectrally safe choice; ``"sample"`` keeps a per-component
+        connectivity backbone plus a leverage-biased sample of the
+        rest (smaller output, looser spectral guarantee).
     """
 
     edge_fraction: float = 0.10
     seed: int = 0
     backend: str = "scipy"
+    shards: int = 1
+    boundary_policy: str = "keep"
 
     def validate(self) -> None:
         """Raise on bad knobs (:class:`~repro.exceptions.GraphError`
@@ -65,6 +91,13 @@ class BaseSparsifierConfig:
         unknown/unavailable backends)."""
         if not 0.0 <= self.edge_fraction:
             raise GraphError("edge_fraction must be nonnegative")
+        if self.shards < 1:
+            raise GraphError("shards must be >= 1")
+        if self.boundary_policy not in BOUNDARY_POLICIES:
+            raise GraphError(
+                f"unknown boundary_policy {self.boundary_policy!r}; "
+                f"choose from {sorted(BOUNDARY_POLICIES)}"
+            )
         # Deferred so this module stays import-light (module docstring).
         from repro.backends import check_backend
 
@@ -132,6 +165,11 @@ class ArtifactStore:
         self.disk = disk
         self.hits: Counter = Counter()
         self.misses: Counter = Counter()
+        #: Cumulative wall time spent restoring artifacts from the disk
+        #: layer (loads, hit or miss).  Callers snapshot it around a run
+        #: to attribute warm-run setup to cache I/O rather than compute
+        #: (``RunRecord.timings["restore_seconds"]``).
+        self.restore_seconds: float = 0.0
 
     def get(self, kind: str, key: tuple, build):
         """Return the cached artifact, building (and storing) on miss.
@@ -146,7 +184,10 @@ class ArtifactStore:
             return self._entries[slot]
         self.misses[kind] += 1
         if self.disk is not None:
-            found, value = self.disk.load(kind, key)
+            timer = Timer()
+            with timer:
+                found, value = self.disk.load(kind, key)
+            self.restore_seconds += timer.elapsed
             if found:
                 self._entries[slot] = value
                 return value
@@ -181,6 +222,7 @@ class ArtifactStore:
         self._entries.clear()
         self.hits.clear()
         self.misses.clear()
+        self.restore_seconds = 0.0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -64,7 +64,10 @@ _MISS = object()
 #: copy of the graph's edge arrays (plus its tree subgraph), so
 #: storing it would duplicate O(m) data the fingerprint already pins —
 #: and rebuilding it from the cached tree is cheap and deterministic.
-NONPERSISTED_KINDS = frozenset({"forest"})
+#: A per-shard ``SparsifierSession`` (sharding pipeline) likewise
+#: embeds its whole shard graph; the artifacts *inside* it persist
+#: through the session's own disk cache instead.
+NONPERSISTED_KINDS = frozenset({"forest", "shard_session"})
 
 _SOURCE_FINGERPRINT: str | None = None
 

@@ -39,6 +39,7 @@ __all__ = [
     "resolve_workers",
     "chunk_spans",
     "score_edges",
+    "parallel_map",
 ]
 
 DEFAULT_CHUNK_SIZE = 1024
@@ -54,6 +55,7 @@ it the work sharding — is identical for every ``workers`` setting.
 # See score_edges().
 _ACTIVE_RANKER = None
 _ACTIVE_EDGE_IDS = None
+_ACTIVE_TASK = None
 _POOL_LOCK = threading.Lock()
 
 
@@ -199,11 +201,15 @@ def score_edges(ranker, edge_ids, workers: int = 1, chunk_size: int = 0):
     from concurrent.futures.process import BrokenProcessPool
 
     with _POOL_LOCK:
+        # Save/restore, mirroring parallel_map: a pool worker whose
+        # task scores edges with its own pool must hand the slots back.
+        previous = (_ACTIVE_RANKER, _ACTIVE_EDGE_IDS)
         _ACTIVE_RANKER = ranker
         _ACTIVE_EDGE_IDS = edge_ids
         try:
             with ProcessPoolExecutor(
-                max_workers=min(workers, len(spans)), mp_context=context
+                max_workers=min(workers, len(spans)), mp_context=context,
+                initializer=_fresh_pool_state,
             ) as pool:
                 parts = list(pool.map(_score_span, spans))
         except (OSError, BrokenProcessPool) as exc:
@@ -217,6 +223,124 @@ def score_edges(ranker, edge_ids, workers: int = 1, chunk_size: int = 0):
             )
             return _serial()
         finally:
-            _ACTIVE_RANKER = None
-            _ACTIVE_EDGE_IDS = None
+            _ACTIVE_RANKER, _ACTIVE_EDGE_IDS = previous
     return np.concatenate(parts)
+
+
+def _fresh_pool_state() -> None:
+    """Pool-worker initializer: replace the inherited pool lock.
+
+    A forked worker inherits ``_POOL_LOCK`` in the *locked* state (the
+    parent holds it while the pool runs), so a task that itself calls
+    :func:`score_edges` / :func:`parallel_map` with ``workers > 1``
+    would deadlock on it.  A fresh lock restores re-entrancy from the
+    worker's point of view — its nested calls simply fall back to
+    their own (possibly serial) execution.
+    """
+    global _POOL_LOCK
+    _POOL_LOCK = threading.Lock()
+
+
+def _run_task(index: int):
+    """Worker entry point: execute one indexed task of the active map."""
+    return _ACTIVE_TASK(index)
+
+
+def parallel_map(task, count: int, workers: int = 1) -> list:
+    """Run ``task(i)`` for ``i in range(count)``, optionally forked.
+
+    The shard-parallel sparsification pipeline
+    (:mod:`repro.core.sharding`) maps independent per-shard runs over
+    this: each task is heavy (a full sparsification), tasks share no
+    mutable state, and results are consumed in index order — so the
+    output is independent of the worker count, exactly like
+    :func:`score_edges`.
+
+    Parameters
+    ----------
+    task : callable
+        ``task(index) -> picklable``.  Published to forked children
+        through a module-level slot (never pickled), so closures over
+        large read-only arrays are shared copy-on-write.
+    count : int
+        Number of task indices.
+    workers : int
+        ``1`` serial (default), ``>1`` that many worker processes,
+        ``0`` one per CPU.  Every serial-fallback rule of
+        :func:`score_edges` applies (no ``fork``, multi-threaded
+        caller, pool failure) — with identical results.
+
+    Returns
+    -------
+    list
+        ``[task(0), ..., task(count - 1)]`` in index order.
+
+    Notes
+    -----
+    Tasks may themselves call :func:`score_edges` or
+    :func:`parallel_map`: pool workers start with fresh pool state
+    (they are single-process from their own point of view), and the
+    serial fallback runs outside the pool lock.
+    """
+    global _ACTIVE_TASK
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+
+    def _serial() -> list:
+        return [task(index) for index in range(count)]
+
+    workers = resolve_workers(workers)
+    if workers <= 1 or count <= 1:
+        return _serial()
+    context = _fork_context()
+    if context is None:
+        warnings.warn(
+            "fork-based worker pool unavailable on this platform; "
+            "running tasks serially (results are identical)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial()
+    if threading.active_count() > 1:
+        # Forking a multi-threaded process can deadlock the children on
+        # locks held by the other threads at fork time.
+        warnings.warn(
+            "refusing to fork from a multi-threaded process; "
+            "running tasks serially (results are identical)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial()
+
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    failure = None
+    with _POOL_LOCK:
+        # Restore (not clear) the slot afterwards: a pool worker that
+        # nests its own parallel_map must hand the slot back to the
+        # task it inherited at fork, or its next outer task would find
+        # the slot empty.
+        previous = _ACTIVE_TASK
+        _ACTIVE_TASK = task
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, count), mp_context=context,
+                initializer=_fresh_pool_state,
+            ) as pool:
+                results = list(pool.map(_run_task, range(count)))
+        except (OSError, BrokenProcessPool) as exc:
+            failure = exc
+        finally:
+            _ACTIVE_TASK = previous
+    if failure is not None:
+        # Fall back *outside* the lock: the tasks are arbitrary caller
+        # code and may themselves use the worker pool.
+        warnings.warn(
+            f"worker pool failed ({failure!r}); rerunning tasks serially "
+            "(results are identical)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial()
+    return results

@@ -171,10 +171,21 @@ class SparsifierResult:
     config : SparsifierConfig
         The configuration the run used.
     setup_seconds : float
-        Wall-clock time of the whole sparsification.
+        Wall-clock time of the whole sparsification (including any
+        cache-restore I/O; see ``restore_seconds``).
     rounds_log : list of dict
         One entry per executed round: phase, candidate count, edges
         added, trace reduction claimed, cache statistics and timing.
+        Sharded runs tag every entry with the shard index.
+    restore_seconds : float
+        Portion of ``setup_seconds`` spent restoring artifacts from
+        the persistent disk cache (0.0 for session-less or
+        memory-only runs), so warm-run speedups are attributable to
+        cache I/O vs compute.
+    sharding : dict or None
+        Shard-parallel diagnostics (shard sizes, per-shard timings,
+        cut statistics) when the run went through
+        :mod:`repro.core.sharding`; ``None`` for unsharded runs.
     """
 
     graph: Graph
@@ -184,6 +195,8 @@ class SparsifierResult:
     config: object
     setup_seconds: float = 0.0
     rounds_log: list = field(default_factory=list)
+    restore_seconds: float = 0.0
+    sharding: dict | None = None
 
     @property
     def sparsifier(self) -> Graph:

@@ -18,7 +18,16 @@ from repro.graph.generators import (
     circuit_grid,
 )
 from repro.graph.suitesparse_like import make_case, CASE_REGISTRY, CaseSpec
-from repro.graph.mtx_io import read_graph_mtx, write_graph_mtx
+from repro.graph.mtx_io import (
+    MtxHeader,
+    iter_mtx_entries,
+    read_graph_mtx,
+    read_graph_mtx_streaming,
+    read_mtx_boundary,
+    read_mtx_header,
+    read_mtx_shard,
+    write_graph_mtx,
+)
 
 __all__ = [
     "Graph",
@@ -39,6 +48,12 @@ __all__ = [
     "make_case",
     "CASE_REGISTRY",
     "CaseSpec",
+    "MtxHeader",
+    "read_mtx_header",
+    "iter_mtx_entries",
     "read_graph_mtx",
+    "read_graph_mtx_streaming",
+    "read_mtx_shard",
+    "read_mtx_boundary",
     "write_graph_mtx",
 ]

@@ -1,10 +1,19 @@
-"""Tests for Matrix Market I/O."""
+"""Tests for Matrix Market I/O, including the streaming reader."""
 
 import numpy as np
 import pytest
 
 from repro.exceptions import GraphError
-from repro.graph import read_graph_mtx, write_graph_mtx
+from repro.graph import (
+    grid2d,
+    iter_mtx_entries,
+    read_graph_mtx,
+    read_graph_mtx_streaming,
+    read_mtx_boundary,
+    read_mtx_header,
+    read_mtx_shard,
+    write_graph_mtx,
+)
 
 
 def test_laplacian_roundtrip(tmp_path, small_grid):
@@ -45,3 +54,179 @@ def test_unknown_mode(tmp_path, path_graph):
     write_graph_mtx(path, path_graph)
     with pytest.raises(GraphError):
         read_graph_mtx(path, mode="bogus")
+    with pytest.raises(GraphError):
+        read_graph_mtx_streaming(path, mode="bogus")
+
+
+# ---------------------------------------------------------------------
+# streaming reader
+# ---------------------------------------------------------------------
+def _canonical(graph):
+    return sorted(zip(graph.u.tolist(), graph.v.tolist(), graph.w.tolist()))
+
+
+@pytest.mark.parametrize("as_laplacian", [True, False])
+@pytest.mark.parametrize("chunk_nnz", [7, 100_000])
+def test_streaming_matches_mmread(tmp_path, small_grid, as_laplacian,
+                                  chunk_nnz):
+    """Chunked parsing must reproduce the read-all-at-once graph for
+    every chunk size (including one covering the whole file)."""
+    path = tmp_path / "g.mtx"
+    write_graph_mtx(path, small_grid, as_laplacian=as_laplacian)
+    whole, excess_whole = read_graph_mtx(path)
+    chunked, excess_chunked = read_graph_mtx_streaming(
+        path, chunk_nnz=chunk_nnz
+    )
+    assert chunked.n == whole.n
+    assert _canonical(chunked) == _canonical(whole)
+    if excess_whole is None:
+        assert excess_chunked is None
+    else:
+        # Same text parsed either way; only the summation order of the
+        # diagonal-excess accumulation differs (1e-15-scale residue).
+        np.testing.assert_allclose(excess_chunked, excess_whole,
+                                   atol=1e-12)
+
+
+def test_streaming_header(tmp_path, small_grid):
+    path = tmp_path / "g.mtx"
+    write_graph_mtx(path, small_grid)
+    header = read_mtx_header(path)
+    assert header.rows == header.cols == small_grid.n
+    assert header.symmetry == "symmetric"
+    assert header.field in ("real", "double")
+
+
+def test_streaming_entry_iterator_counts(tmp_path, path_graph):
+    path = tmp_path / "p.mtx"
+    write_graph_mtx(path, path_graph, as_laplacian=False)
+    chunks = list(iter_mtx_entries(path, chunk_nnz=2))
+    header, chunks = chunks[0], chunks[1:]
+    assert sum(len(rows) for rows, _, _ in chunks) == header.entries
+    assert all(len(rows) <= 2 for rows, _, _ in chunks)
+
+
+def test_streaming_rejects_truncated_file(tmp_path, small_grid):
+    path = tmp_path / "g.mtx"
+    write_graph_mtx(path, small_grid)
+    text = path.read_text().splitlines()
+    (tmp_path / "cut.mtx").write_text("\n".join(text[:-3]) + "\n")
+    with pytest.raises(GraphError, match="truncated"):
+        read_graph_mtx_streaming(tmp_path / "cut.mtx")
+
+
+def test_streaming_rejects_non_matrix_market(tmp_path):
+    bogus = tmp_path / "bogus.mtx"
+    bogus.write_text("hello\n1 2 3\n")
+    with pytest.raises(GraphError, match="not a MatrixMarket"):
+        read_graph_mtx_streaming(bogus)
+
+
+def test_streaming_rejects_out_of_range_entry(tmp_path):
+    bad = tmp_path / "bad.mtx"
+    bad.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 -1.0\n"
+    )
+    with pytest.raises(GraphError, match="out of range"):
+        read_graph_mtx_streaming(bad)
+
+
+def test_streaming_pattern_field(tmp_path):
+    pattern = tmp_path / "pat.mtx"
+    pattern.write_text(
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "3 3 2\n"
+        "2 1\n"
+        "3 2\n"
+    )
+    graph, excess = read_graph_mtx_streaming(pattern, mode="adjacency")
+    assert excess is None
+    assert graph.edge_key_set() == {(0, 1), (1, 2)}
+    np.testing.assert_allclose(graph.w, 1.0)
+
+
+def test_streaming_sign_check_sees_dropped_triangle(tmp_path):
+    """Mode detection and the Laplacian sign check are defined over
+    *every* stored off-diagonal — including lower-triangle entries of
+    general files that the edge extraction drops — matching
+    read_graph_mtx."""
+    mixed = tmp_path / "mixed.mtx"
+    mixed.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 2 -1.0\n"
+        "2 1 1.0\n"     # positive, lower triangle: dropped as an edge
+        "1 1 1.0\n"
+    )
+    with pytest.raises(GraphError, match="positive off-diagonal"):
+        read_graph_mtx_streaming(mixed, mode="laplacian")
+    graph, excess = read_graph_mtx_streaming(mixed, mode="auto")
+    assert excess is None  # auto resolves to adjacency, like mmread
+    labels = np.array([0, 1])
+    with pytest.raises(GraphError, match="positive off-diagonal"):
+        read_mtx_shard(mixed, labels, 0, mode="laplacian")
+    with pytest.raises(GraphError, match="positive off-diagonal"):
+        read_mtx_boundary(mixed, labels, mode="laplacian")
+
+
+def test_streaming_general_symmetry_keeps_upper_triangle(tmp_path):
+    """A symmetric matrix stored in full (symmetry=general) must yield
+    each edge exactly once, matching read_graph_mtx."""
+    full = tmp_path / "full.mtx"
+    full.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 4\n"
+        "1 1 2.0\n"
+        "2 2 2.0\n"
+        "1 2 -2.0\n"
+        "2 1 -2.0\n"
+    )
+    whole, excess_whole = read_graph_mtx(full)
+    chunked, excess_chunked = read_graph_mtx_streaming(full)
+    assert _canonical(chunked) == _canonical(whole) == [(0, 1, 2.0)]
+    np.testing.assert_allclose(excess_chunked, excess_whole)
+
+
+# ---------------------------------------------------------------------
+# shard-by-shard loading
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("as_laplacian", [True, False])
+def test_shards_plus_boundary_reconstruct_graph(tmp_path, as_laplacian):
+    from repro.core import induced_subgraph, partition_shards
+
+    graph = grid2d(13, 13, weights="uniform", seed=9)
+    path = tmp_path / "g.mtx"
+    write_graph_mtx(path, graph, as_laplacian=as_laplacian)
+    plan = partition_shards(graph, 3, seed=0)
+
+    total_intra = 0
+    for shard in range(3):
+        sub, node_ids = read_mtx_shard(
+            path, plan.labels, shard, chunk_nnz=41
+        )
+        np.testing.assert_array_equal(node_ids, plan.shard_nodes[shard])
+        reference, _ = induced_subgraph(graph, node_ids)
+        assert _canonical(sub) == _canonical(reference)
+        total_intra += sub.edge_count
+    u, v, w = read_mtx_boundary(path, plan.labels, chunk_nnz=41)
+    assert total_intra + len(u) == graph.edge_count
+    boundary_ref = graph.subgraph(plan.boundary_edge_ids)
+    assert sorted(zip(u.tolist(), v.tolist(), w.tolist())) == _canonical(
+        boundary_ref
+    )
+
+
+def test_shard_reader_rejects_label_mismatch(tmp_path, small_grid):
+    path = tmp_path / "g.mtx"
+    write_graph_mtx(path, small_grid)
+    short = np.zeros(small_grid.n - 1, dtype=np.int64)
+    with pytest.raises(GraphError, match="labels cover"):
+        read_mtx_shard(path, short, 0)
+    with pytest.raises(GraphError, match="labels cover"):
+        read_mtx_boundary(path, short)
+    with pytest.raises(GraphError, match="no nodes"):
+        read_mtx_shard(
+            path, np.zeros(small_grid.n, dtype=np.int64), 5
+        )

@@ -207,6 +207,46 @@ def test_sparsify_backend_flag_in_record(capsys):
     assert record["environment"]["backend"] == "numpy"
 
 
+def test_sparsify_shards_flag(capsys):
+    code = main(
+        ["sparsify", "--case", "ecology2", "--scale", "0.06",
+         "--rounds", "2", "--shards", "4"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "shards: 4" in out
+    assert "boundary_policy=keep" in out
+    assert "per-shard sparsify seconds" in out
+
+
+def test_sparsify_shards_json_record(capsys):
+    from repro.api import RunRecord
+
+    code = main(
+        ["sparsify", "--case", "ecology2", "--scale", "0.06",
+         "--rounds", "2", "--shards", "2",
+         "--boundary-policy", "sample", "--json"]
+    )
+    assert code == 0
+    record = RunRecord.from_json(capsys.readouterr().out)
+    assert record.config["shards"] == 2
+    assert record.config["boundary_policy"] == "sample"
+    assert record.sharding["shards"] == 2
+    assert len(record.sharding["per_shard"]) == 2
+    assert record.sharding["cut"]["kept_edges"] <= \
+        record.sharding["cut"]["edges"]
+    assert RunRecord.from_json(record.to_json()) == record
+
+
+def test_sparsify_bad_boundary_policy_is_usage_error(capsys):
+    code = main(
+        ["sparsify", "--case", "ecology2", "--scale", "0.04",
+         "--shards", "2", "--boundary-policy", "teleport"]
+    )
+    assert code == 2
+    assert "boundary_policy" in capsys.readouterr().err
+
+
 def test_sparsify_unknown_backend_is_usage_error(capsys):
     code = main(
         ["sparsify", "--case", "ecology2", "--scale", "0.04",
