@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke docs-check
+.PHONY: test bench-smoke serve-smoke docs-check
 
 # Tier-1 gate: the full unit/property suite.
 test:
@@ -17,6 +17,12 @@ bench-smoke:
 		-q -s -k ranking --benchmark-disable
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/bench_sharding.py \
 		-q -s --benchmark-disable
+
+# Service sanity: boot the daemon on an ephemeral port, run one job
+# round trip through the client, require a graceful SIGTERM drain —
+# all under a 60 s budget.
+serve-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) tools/serve_smoke.py
 
 # The documentation gate: the generated API reference must match the
 # registries, the public API must be fully docstringed, and every

@@ -103,7 +103,7 @@ from repro.backends import (
     backend_capabilities,
 )
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "Graph",

@@ -45,6 +45,21 @@ comparison (Table 3), both accepting any registered ``--method``::
 
     repro transient --case ibmpg3t --scale 0.25
     repro partition --case tmt_sym --scale 0.25 --json
+
+Long-lived serving (:mod:`repro.service`): run the sparsification
+daemon, submit jobs to it, and inspect the queue — identical in-flight
+requests are deduplicated and all jobs share one warm artifact cache::
+
+    repro serve --port 8734 --workers 2
+    repro submit --url http://127.0.0.1:8734 --case ecology2 --rounds 2
+    repro jobs --url http://127.0.0.1:8734
+
+Operate the shared on-disk artifact cache the daemon (and ``repro
+sweep``) warms::
+
+    repro cache stats
+    repro cache gc --max-age-days 30
+    repro cache clear --cache-dir /tmp/repro-cache
 """
 
 from __future__ import annotations
@@ -214,6 +229,86 @@ def _build_parser() -> argparse.ArgumentParser:
                            default="proposed")
     partition.add_argument("--json", action="store_true")
     _add_method_flags(partition)
+
+    serve = sub.add_parser(
+        "serve", help="run the sparsification service daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="listening port (0 picks an ephemeral one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads (0 = one per CPU)")
+    serve.add_argument("--max-sessions", type=int, default=8,
+                       help="warm per-graph sessions kept in memory")
+    serve.add_argument("--max-jobs", type=int, default=1000,
+                       help="finished jobs (and their records) "
+                       "retained in the ledger")
+    serve.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="share the persistent artifact cache across jobs and "
+        "restarts (--no-cache keeps sessions memory-only)",
+    )
+    serve.add_argument("--cache-dir", default=None,
+                       help="explicit cache root (overrides "
+                       "REPRO_CACHE_DIR)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running service daemon"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8734")
+    source = submit.add_mutually_exclusive_group(required=True)
+    source.add_argument("--case", choices=sorted(CASE_REGISTRY))
+    source.add_argument("--mtx",
+                        help="local Matrix Market file (content is "
+                        "uploaded with the request)")
+    source.add_argument("--mtx-path",
+                        help="server-side Matrix Market path")
+    submit.add_argument("--scale", type=float, default=None)
+    submit.add_argument("--method", choices=sorted(list_methods()),
+                        default="proposed")
+    submit.add_argument("--label", default=None)
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs sooner; ties run in "
+                        "submission order")
+    submit.add_argument("--evaluate", action="store_true",
+                        help="score the sparsifier (kappa, PCG) and "
+                        "attach the quality block to the record")
+    submit.add_argument(
+        "--wait", action=argparse.BooleanOptionalAction, default=True,
+        help="poll until the job finishes (--no-wait prints the job "
+        "id and returns immediately)",
+    )
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait polling budget in seconds")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the job (and RunRecord) as JSON")
+    _add_method_flags(submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list, inspect or cancel jobs on a daemon"
+    )
+    jobs.add_argument("--url", default="http://127.0.0.1:8734")
+    jobs.add_argument("--job", default=None,
+                      help="show one job in full instead of the table")
+    jobs.add_argument("--cancel", default=None,
+                      help="cancel this queued job id")
+    jobs.add_argument("--json", action="store_true")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the on-disk artifact cache"
+    )
+    cache.add_argument("action", choices=("stats", "gc", "clear"),
+                       help="stats: inventory; gc: drop entries older "
+                       "than --max-age-days; clear: drop everything")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache root (default REPRO_CACHE_DIR or "
+                       "~/.cache/repro)")
+    cache.add_argument("--max-age-days", type=float, default=None,
+                       help="gc age bound (default "
+                       "DiskCache.max_age_days = 30)")
+    cache.add_argument("--json", action="store_true")
     return parser
 
 
@@ -480,6 +575,137 @@ def _cmd_partition(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    if not args.cache and args.cache_dir is not None:
+        raise CacheError(
+            "--no-cache and --cache-dir contradict each other; drop one"
+        )
+    return serve(
+        host=args.host, port=args.port, workers=args.workers,
+        persistent=args.cache, cache_dir=args.cache_dir,
+        max_sessions=args.max_sessions, max_jobs=args.max_jobs,
+        verbose=args.verbose,
+    )
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient
+
+    options = _provided_options(args, methods=[args.method])
+    client = ServiceClient(args.url)
+    job = client.submit(
+        case=args.case, scale=args.scale, mtx_file=args.mtx,
+        mtx_path=args.mtx_path, method=args.method, label=args.label,
+        priority=args.priority, evaluate=args.evaluate, options=options,
+    )
+    if not args.wait:
+        if args.json:
+            print(json.dumps(job, indent=2, sort_keys=True))
+        else:
+            print(f"submitted {job['id']} (status {job['status']}"
+                  + (f", deduplicated onto {job['dedup_of']}"
+                     if job.get("dedup_of") else "") + ")")
+        return 0
+    record = client.result(job["id"], timeout=args.timeout)
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    final = client.job(job["id"])
+    graph = record["graph"]
+    print(f"{job['id']}: done ({graph['label']}, {graph['nodes']} nodes, "
+          f"{graph['edges']} -> {graph['sparsifier_edges']} edges)"
+          + (f"; deduplicated onto {final['dedup_of']}"
+             if final.get("dedup_of") else ""))
+    table = Table(["metric", "value"])
+    table.add_row(["method", record["method"]])
+    for name, value in sorted(record["timings"].items()):
+        table.add_row([name, format_seconds(value)])
+    if record.get("quality"):
+        table.add_row(["kappa(L_G, L_P)", record["quality"]["kappa"]])
+        table.add_row(["PCG iterations",
+                       record["quality"]["pcg_iterations"]])
+    print(table.render())
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.cancel:
+        job = client.cancel(args.cancel)
+        if args.json:
+            print(json.dumps(job, indent=2, sort_keys=True))
+        else:
+            print(f"cancelled {job['id']}")
+        return 0
+    if args.job:
+        job = client.job(args.job)
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0
+    listing = client.jobs()
+    if args.json:
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+    table = Table(["id", "status", "method", "graph", "priority",
+                   "dedup_of"])
+    for job in listing:
+        spec = job["spec"]
+        source = spec["graph"]
+        graph = (source.get("case") or source.get("mtx_path")
+                 or "<upload>")
+        table.add_row([
+            job["id"], job["status"], spec["method"], graph,
+            spec["priority"], job.get("dedup_of") or "-",
+        ])
+    print(table.render())
+    stats = client.stats()
+    print(f"queue depth {stats['queue_depth']}, running "
+          f"{stats['running']}, dedup hits {stats['dedup_hits']}, "
+          f"{stats['sessions']} warm sessions")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.core.diskcache import (
+        cache_root_stats,
+        clear_cache_root,
+        collect_cache_garbage,
+    )
+
+    if args.action == "stats":
+        stats = cache_root_stats(args.cache_dir)
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"cache root {stats['root']}"
+              + ("" if stats["exists"] else " (does not exist yet)"))
+        table = Table(["kind", "entries", "size"])
+        for kind, slot in stats["by_kind"].items():
+            table.add_row([kind, slot["entries"],
+                           format_bytes(slot["bytes"])])
+        table.add_row(["total", stats["entries"],
+                       format_bytes(stats["bytes"])])
+        print(table.render())
+        print(f"{stats['graphs']} graph namespace(s)")
+        return 0
+    if args.action == "gc":
+        removed = collect_cache_garbage(
+            args.cache_dir, max_age_days=args.max_age_days
+        )
+    else:
+        removed = clear_cache_root(args.cache_dir)
+    if args.json:
+        print(json.dumps({"action": args.action, "removed": removed},
+                         indent=2, sort_keys=True))
+    else:
+        print(f"cache {args.action}: removed {removed} entr"
+              f"{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
 _COMMANDS = {
     "cases": _cmd_cases,
     "methods": _cmd_methods,
@@ -487,6 +713,10 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "transient": _cmd_transient,
     "partition": _cmd_partition,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "cache": _cmd_cache,
 }
 
 

@@ -22,6 +22,7 @@ modules can depend on it without cycles.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, fields, replace
 
@@ -149,6 +150,16 @@ class ArtifactStore:
     in-memory ``hits``/``misses`` counters keep their pre-disk meaning
     ("was it already in *this* store").
 
+    The store is safe for concurrent use from multiple threads (the
+    service scheduler's workers hammer one session's store): map
+    mutation and counters sit behind a lock, while the build itself
+    runs *outside* it under a per-slot in-flight marker — an artifact
+    is still built exactly once no matter how many threads race for it
+    (losers wait and then observe the winner's object), but a
+    long-running build never blocks :meth:`stats` readers such as the
+    service's ``/stats`` endpoint.  Builds may recursively
+    :meth:`get` other artifacts; distinct stores never contend.
+
     Examples
     --------
     >>> store = ArtifactStore()
@@ -163,6 +174,8 @@ class ArtifactStore:
     def __init__(self, disk=None) -> None:
         self._entries: dict = {}
         self.disk = disk
+        self._lock = threading.RLock()
+        self._inflight: dict = {}   # slot -> Event set when build ends
         self.hits: Counter = Counter()
         self.misses: Counter = Counter()
         #: Cumulative wall time spent restoring artifacts from the disk
@@ -176,26 +189,46 @@ class ArtifactStore:
 
         Lookup order: this store's memory, then the attached disk
         cache (if any), then *build* — whose result is written through
-        to both layers.
+        to both layers.  Concurrent callers racing for the same
+        artifact share one build: the first becomes the builder, the
+        rest wait on a per-slot event (outside the lock) and then read
+        the winner's entry — counted as hits, exactly as if they had
+        arrived after it.  If the builder raises, a waiter retries.
         """
         slot = (kind, key)
-        if slot in self._entries:
-            self.hits[kind] += 1
-            return self._entries[slot]
-        self.misses[kind] += 1
-        if self.disk is not None:
-            timer = Timer()
-            with timer:
-                found, value = self.disk.load(kind, key)
-            self.restore_seconds += timer.elapsed
-            if found:
+        while True:
+            with self._lock:
+                if slot in self._entries:
+                    self.hits[kind] += 1
+                    return self._entries[slot]
+                event = self._inflight.get(slot)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[slot] = event
+                    self.misses[kind] += 1
+                    break
+            event.wait()
+        try:
+            if self.disk is not None:
+                timer = Timer()
+                with timer:
+                    found, value = self.disk.load(kind, key)
+                with self._lock:
+                    self.restore_seconds += timer.elapsed
+                    if found:
+                        self._entries[slot] = value
+                if found:
+                    return value
+            value = build()
+            with self._lock:
                 self._entries[slot] = value
-                return value
-        value = build()
-        self._entries[slot] = value
-        if self.disk is not None:
-            self.disk.store_best_effort(kind, key, value)
-        return value
+            if self.disk is not None:
+                self.disk.store_best_effort(kind, key, value)
+            return value
+        finally:
+            with self._lock:
+                del self._inflight[slot]
+            event.set()
 
     def stats(self) -> dict:
         """Hit/miss counters per artifact kind plus the entry count.
@@ -204,14 +237,15 @@ class ArtifactStore:
         with its own per-kind ``hits``/``misses``/``stores``/``skips``/
         ``evictions``/``errors`` counters.
         """
-        stats = {
-            "hits": dict(self.hits),
-            "misses": dict(self.misses),
-            "entries": len(self._entries),
-        }
-        if self.disk is not None:
-            stats["disk"] = self.disk.stats()
-        return stats
+        with self._lock:
+            stats = {
+                "hits": dict(self.hits),
+                "misses": dict(self.misses),
+                "entries": len(self._entries),
+            }
+            if self.disk is not None:
+                stats["disk"] = self.disk.stats()
+            return stats
 
     def clear(self) -> None:
         """Drop every cached artifact and reset the counters.
@@ -219,10 +253,11 @@ class ArtifactStore:
         Only the in-memory layer is dropped; use ``store.disk.clear()``
         to delete the persistent entries too.
         """
-        self._entries.clear()
-        self.hits.clear()
-        self.misses.clear()
-        self.restore_seconds = 0.0
+        with self._lock:
+            self._entries.clear()
+            self.hits.clear()
+            self.misses.clear()
+            self.restore_seconds = 0.0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -47,6 +47,9 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "NONPERSISTED_KINDS",
     "DiskCache",
+    "cache_root_stats",
+    "clear_cache_root",
+    "collect_cache_garbage",
     "default_cache_root",
     "graph_fingerprint",
     "source_fingerprint",
@@ -141,6 +144,118 @@ def _key_digest(kind: str, key: tuple) -> str:
         _library_versions(),
     ))
     return hashlib.sha256(token.encode()).hexdigest()[:24]
+
+
+def _iter_cache_entries(root: Path):
+    """Yield every entry file under a cache root (all graphs/schemas)."""
+    if not root.is_dir():
+        return
+    for schema_dir in sorted(root.glob("v*")):
+        if not schema_dir.is_dir():
+            continue
+        yield from sorted(schema_dir.glob("*/*/*.pkl"))
+
+
+def _prune_empty_dirs(root: Path) -> None:
+    """Remove now-empty graph/prefix/schema directories under *root*."""
+    if not root.is_dir():
+        return
+    for schema_dir in root.glob("v*"):
+        for prefix_dir in schema_dir.glob("*"):
+            for graph_dir in prefix_dir.glob("*"):
+                _rmdir_if_empty(graph_dir)
+            _rmdir_if_empty(prefix_dir)
+        _rmdir_if_empty(schema_dir)
+
+
+def _rmdir_if_empty(path: Path) -> None:
+    try:
+        path.rmdir()
+    except OSError:  # non-empty, racing writer, or not a directory
+        pass
+
+
+def cache_root_stats(root=None) -> dict:
+    """Whole-root cache inventory, across every graph and schema.
+
+    Unlike :meth:`DiskCache.stats` (one graph's live counters), this
+    scans the directory tree an operator actually pays for: entry and
+    graph counts, total bytes, and a per-kind breakdown.  Backs
+    ``repro cache stats``.
+    """
+    root = Path(root) if root is not None else default_cache_root()
+    graphs = set()
+    entries = 0
+    total_bytes = 0
+    by_kind: dict = {}
+    for path in _iter_cache_entries(root):
+        try:
+            size = path.stat().st_size
+        except OSError:  # pragma: no cover - racing eviction
+            continue
+        entries += 1
+        total_bytes += size
+        graphs.add(path.parent.name)
+        kind = path.name.rsplit("-", 1)[0]
+        slot = by_kind.setdefault(kind, {"entries": 0, "bytes": 0})
+        slot["entries"] += 1
+        slot["bytes"] += size
+    return {
+        "root": str(root),
+        "exists": root.is_dir(),
+        "graphs": len(graphs),
+        "entries": entries,
+        "bytes": total_bytes,
+        "by_kind": dict(sorted(by_kind.items())),
+    }
+
+
+def collect_cache_garbage(root=None, max_age_days: float | None = None
+                          ) -> int:
+    """Drop every entry older than *max_age_days*; return the count.
+
+    The root-wide form of the per-graph GC each :class:`DiskCache`
+    runs at construction (same default age bound,
+    :attr:`DiskCache.max_age_days`), covering graphs no current
+    process constructs a cache for — exactly the entries per-graph GC
+    can never reach.  Empty graph directories are pruned afterwards.
+    Backs ``repro cache gc``.
+    """
+    root = Path(root) if root is not None else default_cache_root()
+    if max_age_days is None:
+        max_age_days = DiskCache.max_age_days
+    import time
+
+    cutoff = time.time() - float(max_age_days) * 86400.0
+    removed = 0
+    for path in _iter_cache_entries(root):
+        try:
+            if path.stat().st_mtime < cutoff:
+                path.unlink()
+                removed += 1
+        except OSError:  # pragma: no cover - racing eviction
+            pass
+    _prune_empty_dirs(root)
+    return removed
+
+
+def clear_cache_root(root=None) -> int:
+    """Delete every entry under a cache root; return the count.
+
+    ``repro cache clear``: removes all graphs' artifacts (and prunes
+    the emptied directories) but leaves the root directory itself and
+    any foreign files in it alone.
+    """
+    root = Path(root) if root is not None else default_cache_root()
+    removed = 0
+    for path in _iter_cache_entries(root):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - racing eviction
+            pass
+    _prune_empty_dirs(root)
+    return removed
 
 
 class DiskCache:

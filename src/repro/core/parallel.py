@@ -24,6 +24,12 @@ Design points:
   start or loses a worker all degrade to an in-process loop with
   identical results, emitting a ``RuntimeWarning`` when parallelism
   was requested but lost.
+* **No orphaned children.**  An interrupt delivered to the parent
+  while a pool is running (``KeyboardInterrupt`` from SIGINT, or a
+  ``SystemExit`` raised by a SIGTERM handler such as the service
+  daemon's) terminates and reaps every forked worker before the
+  exception propagates — ``kill <driver-pid>`` never leaves detached
+  children burning CPU on half-finished chunks.
 """
 
 from __future__ import annotations
@@ -197,7 +203,6 @@ def score_edges(ranker, edge_ids, workers: int = 1, chunk_size: int = 0):
     # Warm caches in the parent so forked children inherit them.
     ranker.prepare(edge_ids)
 
-    from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
     with _POOL_LOCK:
@@ -207,11 +212,9 @@ def score_edges(ranker, edge_ids, workers: int = 1, chunk_size: int = 0):
         _ACTIVE_RANKER = ranker
         _ACTIVE_EDGE_IDS = edge_ids
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(spans)), mp_context=context,
-                initializer=_fresh_pool_state,
-            ) as pool:
-                parts = list(pool.map(_score_span, spans))
+            parts = _pool_map(
+                context, min(workers, len(spans)), _score_span, spans
+            )
         except (OSError, BrokenProcessPool) as exc:
             # Pool could not start (sandboxed hosts) or a worker died
             # (OOM-killed, segfaulted); identical results, just slower.
@@ -225,6 +228,57 @@ def score_edges(ranker, edge_ids, workers: int = 1, chunk_size: int = 0):
         finally:
             _ACTIVE_RANKER, _ACTIVE_EDGE_IDS = previous
     return np.concatenate(parts)
+
+
+def _terminate_pool(pool) -> None:
+    """Tear a running pool down *now*, leaving no orphaned children.
+
+    Used on interrupt (SIGINT's ``KeyboardInterrupt``, a SIGTERM
+    handler's ``SystemExit``): cancels whatever has not started,
+    SIGTERMs every worker process and reaps it, so the parent can
+    propagate the exception knowing nothing it forked survives it.
+    """
+    # Snapshot the worker handles first: shutdown(wait=False) drops the
+    # executor's reference to them.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead worker
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=5.0)
+        except Exception:  # pragma: no cover - already-reaped worker
+            pass
+
+
+def _pool_map(context, max_workers: int, fn, tasks) -> list:
+    """``list(pool.map(fn, tasks))`` with interrupt-safe teardown.
+
+    The shared execution step of :func:`score_edges` and
+    :func:`parallel_map`.  ``OSError`` / ``BrokenProcessPool``
+    propagate to the caller (whose serial fallback handles them);
+    interrupts terminate the children first (:func:`_terminate_pool`)
+    and then re-raise.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    pool = ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=context,
+        initializer=_fresh_pool_state,
+    )
+    try:
+        results = list(pool.map(fn, tasks))
+    except (KeyboardInterrupt, SystemExit):
+        _terminate_pool(pool)
+        raise
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results
 
 
 def _fresh_pool_state() -> None:
@@ -312,7 +366,6 @@ def parallel_map(task, count: int, workers: int = 1) -> list:
         )
         return _serial()
 
-    from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
     failure = None
@@ -324,11 +377,9 @@ def parallel_map(task, count: int, workers: int = 1) -> list:
         previous = _ACTIVE_TASK
         _ACTIVE_TASK = task
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, count), mp_context=context,
-                initializer=_fresh_pool_state,
-            ) as pool:
-                results = list(pool.map(_run_task, range(count)))
+            results = _pool_map(
+                context, min(workers, count), _run_task, range(count)
+            )
         except (OSError, BrokenProcessPool) as exc:
             failure = exc
         finally:

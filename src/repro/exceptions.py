@@ -47,3 +47,21 @@ class BackendError(ReproError, ValueError):
 
 class CacheError(ReproError):
     """Raised for unusable on-disk artifact-cache configurations."""
+
+
+class ServiceError(ReproError):
+    """Raised for sparsification-service failures.
+
+    Covers malformed job submissions, unknown job ids, invalid
+    lifecycle transitions (e.g. cancelling a running job), and
+    client-side transport errors (connection refused, non-2xx
+    responses).
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """Raised when the service refuses new work (shutdown in progress).
+
+    A distinct type so the HTTP layer can map it to 503 without
+    sniffing message text.
+    """

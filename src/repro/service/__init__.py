@@ -1,0 +1,53 @@
+"""Sparsification service layer: job queue, dedup, and HTTP daemon.
+
+The serving counterpart to the one-shot :func:`repro.sparsify` call:
+a long-lived daemon that batches, deduplicates and schedules
+sparsification requests so their expensive setup phases — spanning
+trees, tree-phase criticalities, resistance sketches — amortize
+across clients and across restarts (through the shared persistent
+artifact cache of :mod:`repro.core.diskcache`).
+
+Three layers, each usable on its own:
+
+* :class:`SparsifierService` (:mod:`repro.service.scheduler`) — the
+  in-process core: a priority queue drained by bounded worker threads,
+  per-graph-fingerprint request deduplication, per-graph warm
+  :class:`~repro.api.SparsifierSession` reuse, graceful drain;
+* :class:`ServiceDaemon` / :func:`serve` (:mod:`repro.service.http`) —
+  a zero-dependency stdlib HTTP front end (``repro serve``);
+* :class:`ServiceClient` (:mod:`repro.service.client`) — the typed
+  client behind ``repro submit`` / ``repro jobs``.
+
+Quick start::
+
+    from repro.service import ServiceDaemon, ServiceClient
+
+    with ServiceDaemon(workers=2) as daemon:       # ephemeral port
+        client = ServiceClient(daemon.url)
+        job = client.submit(case="ecology2", scale=0.1, rounds=2)
+        record = client.result(job["id"])          # RunRecord dict
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.http import ROUTES, ServiceDaemon, serve
+from repro.service.jobs import (
+    JOB_STATUSES,
+    Job,
+    JobSpec,
+    graph_source_key,
+    load_graph_source,
+)
+from repro.service.scheduler import SparsifierService
+
+__all__ = [
+    "JOB_STATUSES",
+    "Job",
+    "JobSpec",
+    "graph_source_key",
+    "load_graph_source",
+    "SparsifierService",
+    "ServiceDaemon",
+    "ServiceClient",
+    "ROUTES",
+    "serve",
+]

@@ -1,0 +1,205 @@
+"""Typed Python client for the sparsification daemon.
+
+:class:`ServiceClient` speaks the JSON protocol of
+:mod:`repro.service.http` over the standard library's
+:mod:`urllib.request` — no third-party HTTP stack — and is what
+``repro submit`` / ``repro jobs`` are built on::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8734")
+    job = client.submit(case="ecology2", scale=0.1,
+                        method="proposed", rounds=2)
+    record = client.result(job["id"])        # polls until done
+
+Transport failures and non-2xx responses raise
+:class:`~repro.exceptions.ServiceError` with the server's error
+message attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """HTTP client bound to one daemon base URL.
+
+    Parameters
+    ----------
+    url : str
+        Daemon base URL, e.g. ``"http://127.0.0.1:8734"``.
+    timeout : float
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {detail}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /healthz`` — liveness/version/uptime."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """``GET /stats`` — queue/dedup/session/cache counters."""
+        return self._request("GET", "/stats")
+
+    def submit(self, *, case: str | None = None, scale: float | None = None,
+               mtx_path: str | None = None, mtx_file=None,
+               graph: dict | None = None, method: str = "proposed",
+               label: str | None = None, priority: int = 0,
+               evaluate: bool = False, options: dict | None = None,
+               **more_options) -> dict:
+        """``POST /jobs`` — submit a sparsification request.
+
+        Exactly one graph source must be given: a registered ``case``
+        name (with optional ``scale``), a **server-side** ``mtx_path``,
+        a local ``mtx_file`` whose content is uploaded inline, or a
+        raw ``graph`` source dict.  Method options go in ``options``
+        or simply as extra keyword arguments
+        (``client.submit(case="ecology2", rounds=3)``).
+
+        Returns the job dict; ``job["dedup_of"]`` is set when the
+        daemon coalesced this request onto an identical in-flight one.
+        """
+        sources = [s for s in (case, mtx_path, mtx_file, graph)
+                   if s is not None]
+        if len(sources) != 1:
+            raise ServiceError(
+                "pass exactly one of case=, mtx_path=, mtx_file= or "
+                "graph="
+            )
+        if scale is not None and case is None and graph is None:
+            # Matrix Market sources are fixed-size; silently ignoring
+            # the knob would break the no-silent-no-op CLI contract.
+            raise ServiceError(
+                "scale= only applies to generated case= graphs; "
+                "MTX sources are loaded as-is"
+            )
+        if graph is None:
+            if case is not None:
+                graph = {"case": case}
+                if scale is not None:
+                    graph["scale"] = scale
+            elif mtx_path is not None:
+                graph = {"mtx_path": str(mtx_path)}
+            else:
+                try:
+                    graph = {"mtx": Path(mtx_file).read_text()}
+                except OSError as exc:
+                    raise ServiceError(
+                        f"cannot read mtx_file {str(mtx_file)!r}: {exc}"
+                    ) from None
+        payload = {
+            "graph": graph,
+            "method": method,
+            "options": {**(options or {}), **more_options},
+            "label": label,
+            "priority": priority,
+            "evaluate": evaluate,
+        }
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>`` — one job's current state."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list:
+        """``GET /jobs`` — every job the daemon has seen."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(self, job_id: str, *, timeout: float = 600.0,
+             poll_seconds: float = 0.05) -> dict:
+        """Poll until a job reaches a terminal status; return the job.
+
+        Polls with exponential backoff — starting at ``poll_seconds``
+        and doubling up to a 2 s cap — so short jobs return promptly
+        while a minutes-long job costs the daemon a handful of status
+        requests, not twenty per second.
+        """
+        deadline = time.time() + timeout
+        delay = poll_seconds
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed", "cancelled"):
+                return job
+            remaining = deadline - time.time()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for "
+                    f"{job_id} (status {job['status']!r})"
+                )
+            time.sleep(min(delay, remaining))
+            delay = min(delay * 2, 2.0)
+
+    def result(self, job_id: str, *, wait: bool = True,
+               timeout: float = 600.0) -> dict:
+        """``GET /jobs/<id>/result`` — the finished RunRecord dict.
+
+        With ``wait=True`` (default) the call polls until the job
+        finishes first; a failed or cancelled job raises
+        :class:`~repro.exceptions.ServiceError`.
+        """
+        if wait:
+            job = self.wait(job_id, timeout=timeout)
+            if job["status"] != "done":
+                raise ServiceError(
+                    f"job {job_id} did not finish: status "
+                    f"{job['status']!r}"
+                    + (f" ({job['error']})" if job.get("error") else "")
+                )
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /jobs/<id>`` — cancel a queued job.
+
+        Raises :class:`~repro.exceptions.ServiceError` when the job is
+        already running or finished (HTTP 409).
+        """
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceClient(url={self.url!r})"

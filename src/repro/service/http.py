@@ -1,0 +1,338 @@
+"""Zero-dependency HTTP front end for the sparsification service.
+
+Built entirely on the standard library
+(:class:`http.server.ThreadingHTTPServer`), so ``repro serve`` runs on
+a bare checkout.  :class:`ServiceDaemon` binds a
+:class:`~repro.service.scheduler.SparsifierService` to a listening
+socket; every request handler thread talks to the shared scheduler
+under its own locking, and JSON is the only wire format.
+
+Endpoints (also rendered into ``docs/api-reference.md``):
+
+``POST /jobs``
+    Submit a job.  Body: ``{"graph": {...}, "method": "proposed",
+    "options": {...}, "label": ..., "priority": 0, "evaluate": false}``
+    where ``graph`` is a case name, a server-side MTX path, or inline
+    MTX text (see :mod:`repro.service.jobs`).  Returns the job dict
+    (``201``); identical in-flight submissions are deduplicated and
+    carry ``dedup_of``.
+``GET /jobs`` / ``GET /jobs/<id>`` / ``GET /jobs/<id>/result``
+    List jobs, poll one job, fetch a finished job's RunRecord JSON.
+``DELETE /jobs/<id>``
+    Cancel a queued job (``409`` when it is already running/finished).
+``GET /healthz`` and ``GET /stats``
+    Liveness probe and queue/dedup/cache counters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import (
+    ReproError,
+    ServiceError,
+    ServiceUnavailableError,
+    UnknownMethodError,
+    UnknownOptionError,
+)
+from repro.service.jobs import JobSpec
+from repro.service.scheduler import SparsifierService
+
+__all__ = ["ROUTES", "ServiceDaemon", "serve"]
+
+#: The HTTP surface, as ``(verb, path, description)`` rows — the single
+#: source the generated API reference renders its endpoint table from.
+ROUTES = (
+    ("POST", "/jobs",
+     "submit a job (graph source + method/options); deduplicates "
+     "against identical in-flight requests"),
+    ("GET", "/jobs", "list every job (records elided)"),
+    ("GET", "/jobs/<id>", "poll one job's status"),
+    ("GET", "/jobs/<id>/result",
+     "the finished job's RunRecord JSON (409 until it is done)"),
+    ("DELETE", "/jobs/<id>", "cancel a queued job (409 otherwise)"),
+    ("GET", "/healthz", "liveness probe (status/version/uptime)"),
+    ("GET", "/stats",
+     "queue depth, per-status job counts, dedup hits, session and "
+     "disk-cache counters"),
+)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route one HTTP request to the shared scheduler."""
+
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def service(self) -> SparsifierService:
+        return self.server.daemon.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        if getattr(self.server.daemon, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("request body must be a JSON object")
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    # -- verbs ---------------------------------------------------------
+    def do_GET(self) -> None:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["healthz"]:
+            daemon = self.server.daemon
+            self._send_json({
+                "status": "ok",
+                "version": _package_version(),
+                "uptime_seconds": time.time() - daemon.started_at,
+                "workers": self.service.workers,
+                "accepting": self.service.accepting,
+            })
+        elif parts == ["stats"]:
+            self._send_json(self.service.stats())
+        elif parts == ["jobs"]:
+            self._send_json({
+                "jobs": [job.to_dict(include_record=False,
+                                     redact_upload=True)
+                         for job in self.service.jobs()]
+            })
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._with_job(parts[1], lambda job: self._send_json(
+                job.to_dict(redact_upload=True)))
+        elif len(parts) == 3 and parts[:1] == ["jobs"] \
+                and parts[2] == "result":
+            self._with_job(parts[1], self._send_result)
+        else:
+            self._error(404, f"no such endpoint: GET {self.path}")
+
+    def do_POST(self) -> None:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts != ["jobs"]:
+            self._error(404, f"no such endpoint: POST {self.path}")
+            return
+        try:
+            spec = JobSpec.from_dict(self._read_body())
+            job = self.service.submit(
+                spec.graph, method=spec.method, options=spec.options,
+                label=spec.label, priority=spec.priority,
+                evaluate=spec.evaluate,
+            )
+        except ServiceUnavailableError as exc:
+            self._error(503, str(exc))
+        except (ServiceError, UnknownMethodError, UnknownOptionError,
+                TypeError, ValueError) as exc:
+            self._error(400, str(exc))
+        except ReproError as exc:
+            self._error(400, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send_json(job.to_dict(redact_upload=True), status=201)
+
+    def do_DELETE(self) -> None:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) != 2 or parts[0] != "jobs":
+            self._error(404, f"no such endpoint: DELETE {self.path}")
+            return
+
+        def _cancel(job) -> None:
+            try:
+                cancelled = self.service.cancel(job.id)
+            except ServiceError as exc:
+                self._error(409, str(exc))
+            else:
+                self._send_json(cancelled.to_dict(redact_upload=True))
+
+        self._with_job(parts[1], _cancel)
+
+    # -- helpers -------------------------------------------------------
+    def _with_job(self, job_id: str, action) -> None:
+        try:
+            job = self.service.job(job_id)
+        except ServiceError as exc:
+            self._error(404, str(exc))
+            return
+        action(job)
+
+    def _send_result(self, job) -> None:
+        if job.status == "done":
+            self._send_json(job.record)
+        elif job.status == "failed":
+            self._error(409, f"job {job.id} failed: {job.error}")
+        elif job.status == "cancelled":
+            self._error(409, f"job {job.id} was cancelled")
+        else:
+            self._error(
+                409, f"job {job.id} is not finished (status "
+                f"{job.status!r}); poll GET /jobs/{job.id}"
+            )
+
+
+def _package_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+class ServiceDaemon:
+    """A listening sparsification daemon: scheduler + HTTP server.
+
+    Parameters
+    ----------
+    service : SparsifierService, optional
+        The scheduler to expose; one is constructed from
+        ``**service_options`` (``workers``, ``cache_dir``,
+        ``persistent``, ``max_sessions``, ``start``) when omitted.
+    host / port :
+        Bind address.  ``port=0`` (the default) picks an ephemeral
+        port — read it back from :attr:`port` / :attr:`url`.
+    verbose : bool
+        Log one line per HTTP request to stderr.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.service import ServiceDaemon, ServiceClient
+    >>> daemon = ServiceDaemon(workers=1, cache_dir=tempfile.mkdtemp())
+    >>> daemon.start()
+    >>> client = ServiceClient(daemon.url)
+    >>> client.health()["status"]
+    'ok'
+    >>> daemon.shutdown()
+    """
+
+    def __init__(self, service: SparsifierService | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 verbose: bool = False, **service_options) -> None:
+        if service is not None and service_options:
+            raise ServiceError(
+                "pass either a ready service or service options, not both"
+            )
+        self.service = service or SparsifierService(**service_options)
+        self.verbose = verbose
+        self.started_at = time.time()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.daemon = self
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve in a background thread (returns immediately)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-service-http", daemon=True,
+            )
+            self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` is called
+        from another thread (the blocking shape :func:`serve` uses)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self, *, drain: bool = True,
+                 timeout: float | None = None) -> None:
+        """Stop the service gracefully, then close the socket.
+
+        ``drain=True`` (default) finishes every queued job first;
+        ``drain=False`` cancels the queue and only lets running jobs
+        complete.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.service.shutdown(drain=drain, timeout=timeout)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve(*, host: str = "127.0.0.1", port: int = 8734,
+          workers: int = 2, persistent: bool = True, cache_dir=None,
+          max_sessions: int = 8, max_jobs: int = 1000,
+          verbose: bool = False,
+          install_signal_handlers: bool = True,
+          announce=print) -> int:
+    """Run a daemon in the foreground until SIGINT/SIGTERM.
+
+    The blocking entry point behind ``repro serve``: boots a
+    :class:`ServiceDaemon`, announces the bound URL on stdout, and
+    waits.  The first SIGINT/SIGTERM drains gracefully (queued jobs
+    finish); a second signal cancels the remaining queue and exits as
+    soon as running jobs complete.  Returns the process exit code.
+    """
+    import signal
+
+    daemon = ServiceDaemon(
+        host=host, port=port, workers=workers, persistent=persistent,
+        cache_dir=cache_dir, max_sessions=max_sessions,
+        max_jobs=max_jobs, verbose=verbose,
+    )
+    stop = threading.Event()
+    signals_seen = []
+
+    def _request_stop(signum, frame) -> None:
+        signals_seen.append(signum)
+        if len(signals_seen) > 1:
+            daemon.service.shutdown(drain=False, timeout=0.0)
+        stop.set()
+
+    if install_signal_handlers:
+        signal.signal(signal.SIGINT, _request_stop)
+        signal.signal(signal.SIGTERM, _request_stop)
+    daemon.start()
+    announce(f"repro service listening on {daemon.url} "
+             f"({daemon.service.workers} workers, cache "
+             f"{'on' if daemon.service.persistent else 'off'})",
+             flush=True)
+    stop.wait()
+    announce("repro service draining...", flush=True)
+    daemon.shutdown(drain=len(signals_seen) <= 1)
+    announce("repro service stopped", flush=True)
+    return 0

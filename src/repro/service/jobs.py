@@ -1,0 +1,342 @@
+"""The service layer's job model.
+
+A :class:`Job` is one sparsification request travelling through the
+daemon: a :class:`JobSpec` (what to run, on which graph, at what
+priority) plus the lifecycle state the scheduler stamps onto it —
+``queued → running → done`` / ``failed`` / ``cancelled`` — and, once
+finished, the resulting :class:`~repro.api.records.RunRecord` as a
+plain dict.  Like ``RunRecord`` itself, jobs round-trip through JSON
+losslessly (``Job.from_json(job.to_json()) == job``), so the HTTP
+front end, the typed client and any on-disk job log all speak the same
+schema.
+
+The graph a job targets is described by a *graph source* dict rather
+than a live :class:`~repro.graph.Graph` object, so it can cross the
+wire: a registered case name (``{"case": "ecology2", "scale": 0.04}``),
+a server-side Matrix Market path (``{"mtx_path": "/data/g.mtx"}``) or
+inline Matrix Market text uploaded with the request
+(``{"mtx": "%%MatrixMarket ..."}``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "JOB_STATUSES",
+    "TERMINAL_STATUSES",
+    "JobSpec",
+    "Job",
+    "graph_source_key",
+    "load_graph_source",
+]
+
+#: Every lifecycle state a job can be in, in rough temporal order.
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves once reached.
+TERMINAL_STATUSES = frozenset({"done", "failed", "cancelled"})
+
+#: Keys a graph-source dict may carry (exactly one of the first three).
+_SOURCE_KINDS = ("case", "mtx_path", "mtx")
+_SOURCE_KEYS = frozenset({"case", "mtx_path", "mtx", "scale", "seed"})
+
+
+def _validate_graph_source(source: dict) -> None:
+    if not isinstance(source, dict):
+        raise ServiceError(
+            f"graph source must be a dict, got {type(source).__name__}"
+        )
+    unknown = sorted(set(source) - _SOURCE_KEYS)
+    if unknown:
+        raise ServiceError(
+            f"unknown graph-source key(s) {', '.join(map(repr, unknown))}; "
+            f"valid keys: {', '.join(sorted(_SOURCE_KEYS))}"
+        )
+    kinds = [kind for kind in _SOURCE_KINDS if source.get(kind)]
+    if len(kinds) != 1:
+        raise ServiceError(
+            "graph source needs exactly one of 'case', 'mtx_path' or "
+            f"'mtx', got {kinds or 'none'}"
+        )
+    if kinds != ["case"] and source.get("scale") is not None:
+        # Matrix Market sources are fixed-size; a scale knob on one
+        # would be a silent no-op, and this package's contract is that
+        # inapplicable knobs are hard errors.
+        raise ServiceError(
+            "'scale' only applies to generated 'case' graphs; "
+            "MTX sources are loaded as-is"
+        )
+
+
+def graph_source_key(source: dict) -> str:
+    """A stable identity string for a graph-source dict.
+
+    Inline MTX uploads are folded to a SHA-256 of their text, so two
+    clients uploading the same file content share one key (and with it
+    one loaded graph and one warm session) without the key itself
+    holding megabytes of text.
+    """
+    _validate_graph_source(source)
+    canonical = dict(source)
+    if canonical.get("mtx"):
+        canonical["mtx"] = hashlib.sha256(
+            canonical["mtx"].encode()
+        ).hexdigest()
+    return json.dumps(canonical, sort_keys=True)
+
+
+def load_graph_source(source: dict, seed: int = 0):
+    """Materialize a graph-source dict into ``(graph, label)``.
+
+    ``{"case": name}`` goes through the case registry (honoring
+    ``scale``/``seed``), ``{"mtx_path": path}`` reads a server-side
+    Matrix Market file, and ``{"mtx": text}`` parses uploaded Matrix
+    Market content.  Raises :class:`~repro.exceptions.ServiceError`
+    for malformed sources (unknown keys, missing files, bad MTX text).
+    """
+    _validate_graph_source(source)
+    seed = int(source.get("seed", seed))
+    if source.get("case"):
+        from repro.graph import CASE_REGISTRY, make_case
+
+        name = str(source["case"])
+        if name not in CASE_REGISTRY:
+            raise ServiceError(
+                f"unknown case {name!r}; choose from "
+                f"{', '.join(sorted(CASE_REGISTRY))}"
+            )
+        graph, spec = make_case(
+            name, scale=source.get("scale"), seed=seed
+        )
+        return graph, spec.name
+    from repro.graph import read_graph_mtx
+
+    if source.get("mtx_path"):
+        path = str(source["mtx_path"])
+        if not Path(path).is_file():
+            raise ServiceError(f"mtx_path {path!r} does not exist")
+        graph, _ = read_graph_mtx(path)
+        return graph, path
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".mtx", delete=False
+    ) as handle:
+        handle.write(source["mtx"])
+        tmp_name = handle.name
+    try:
+        graph, _ = read_graph_mtx(tmp_name)
+    finally:
+        Path(tmp_name).unlink(missing_ok=True)
+    return graph, "upload"
+
+
+@dataclass
+class JobSpec:
+    """What one service request asks for (immutable once submitted).
+
+    Parameters
+    ----------
+    graph : dict
+        Graph source: ``{"case": name, "scale": s}``,
+        ``{"mtx_path": path}`` or ``{"mtx": text}`` (see
+        :func:`load_graph_source`).
+    method : str
+        Registered sparsifier method name.
+    options : dict
+        Keyword options for the method's config dataclass, exactly as
+        :func:`repro.sparsify` accepts them.
+    label : str, optional
+        Graph label stamped into the resulting RunRecord; defaults to
+        the label the graph source implies (case name / file path).
+    priority : int
+        Scheduling priority — higher runs sooner; ties run in
+        submission order.
+    evaluate : bool
+        Score the sparsifier with
+        :func:`~repro.core.metrics.evaluate_sparsifier` and attach the
+        quality block to the record (slower; default off so a service
+        result is fingerprint-identical to a direct
+        ``repro.sparsify`` call).
+    """
+
+    graph: dict
+    method: str = "proposed"
+    options: dict = field(default_factory=dict)
+    label: str | None = None
+    priority: int = 0
+    evaluate: bool = False
+
+    def validate(self):
+        """Check the spec end to end; return the validated config.
+
+        Validates the graph source shape, the method name and every
+        option (via the method registry, so inapplicable options are
+        rejected with the same message the CLI gives).
+        """
+        from repro.api import get_method
+
+        _validate_graph_source(self.graph)
+        return get_method(self.method).make_config(**self.options)
+
+    def to_dict(self, *, redact_upload: bool = False) -> dict:
+        """The spec as one plain JSON-serializable dict.
+
+        ``redact_upload=True`` replaces inline MTX text with its
+        SHA-256 digest and character count — the form the HTTP layer
+        ships, so polling a multi-megabyte upload's status does not
+        echo the upload back on every response.
+        """
+        graph = self.graph
+        if redact_upload and graph.get("mtx"):
+            graph = dict(graph)
+            graph["mtx_sha256"] = hashlib.sha256(
+                graph["mtx"].encode()
+            ).hexdigest()
+            graph["mtx_chars"] = len(graph.pop("mtx"))
+        return {
+            "graph": graph,
+            "method": self.method,
+            "options": self.options,
+            "label": self.label,
+            "priority": self.priority,
+            "evaluate": self.evaluate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        """Inverse of :meth:`to_dict` (tolerates ``null`` fields).
+
+        Raises :class:`~repro.exceptions.ServiceError` for unknown
+        fields, a missing graph source, or field values of the wrong
+        type (a ``priority`` that is not a number, a non-dict
+        ``options``, ...) — the HTTP layer maps these to 400s.
+        """
+        unknown = sorted(
+            set(data) - {"graph", "method", "options", "label",
+                         "priority", "evaluate"}
+        )
+        if unknown:
+            raise ServiceError(
+                f"unknown job field(s) {', '.join(map(repr, unknown))}"
+            )
+        if not data.get("graph"):
+            raise ServiceError("job spec needs a 'graph' source")
+        try:
+            return cls(
+                graph=data["graph"],
+                method=str(data.get("method") or "proposed"),
+                options=dict(data.get("options") or {}),
+                label=data.get("label"),
+                priority=int(data.get("priority") or 0),
+                evaluate=bool(data.get("evaluate") or False),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed job spec: {exc}") from None
+
+
+@dataclass
+class Job:
+    """One request plus the lifecycle state the scheduler stamps on it.
+
+    Attributes
+    ----------
+    id:
+        Service-assigned identifier (``job-000001``, ...).
+    spec:
+        The submitted :class:`JobSpec`.
+    status:
+        One of :data:`JOB_STATUSES`.
+    created_at / started_at / finished_at:
+        Wall-clock timestamps (``time.time()``); ``None`` until the
+        corresponding transition happens.  A deduplicated follower
+        inherits its primary's ``started_at``/``finished_at``.
+    error:
+        Failure message when ``status == "failed"``.
+    record:
+        The finished run's :class:`~repro.api.records.RunRecord` as a
+        plain dict (``None`` until ``done``).
+    dedup_of:
+        Id of the in-flight primary job this request was coalesced
+        onto, when the scheduler deduplicated it; the follower shares
+        the primary's computation and record.
+    """
+
+    id: str
+    spec: JobSpec
+    status: str = "queued"
+    created_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    record: dict | None = None
+    dedup_of: str | None = None
+
+    @property
+    def finished(self) -> bool:
+        """True once the job reached a terminal status."""
+        return self.status in TERMINAL_STATUSES
+
+    def to_dict(self, *, include_record: bool = True,
+                redact_upload: bool = False) -> dict:
+        """The job as one plain JSON-serializable dict.
+
+        ``include_record=False`` replaces the (potentially large)
+        RunRecord payload with a ``has_record`` flag — the shape the
+        ``GET /jobs`` listing uses; ``redact_upload=True`` digests
+        inline MTX text out of the spec (every HTTP response does
+        both or one of these — only the lossless default round-trips
+        through :meth:`from_dict`).
+        """
+        data = {
+            "id": self.id,
+            "spec": self.spec.to_dict(redact_upload=redact_upload),
+            "status": self.status,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "dedup_of": self.dedup_of,
+        }
+        if include_record:
+            data["record"] = self.record
+        else:
+            data["has_record"] = self.record is not None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        """Inverse of :meth:`to_dict` (full form, with the record)."""
+        status = data.get("status", "queued")
+        if status not in JOB_STATUSES:
+            raise ServiceError(
+                f"unknown job status {status!r}; valid: "
+                f"{', '.join(JOB_STATUSES)}"
+            )
+        return cls(
+            id=str(data["id"]),
+            spec=JobSpec.from_dict(data["spec"]),
+            status=status,
+            created_at=float(data.get("created_at", 0.0)),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            error=data.get("error"),
+            record=data.get("record"),
+            dedup_of=data.get("dedup_of"),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize losslessly to JSON text."""
+        return json.dumps(
+            self.to_dict(), indent=indent, sort_keys=True
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Job":
+        """Inverse of :meth:`to_json`: ``from_json(j.to_json()) == j``."""
+        return cls.from_dict(json.loads(text))

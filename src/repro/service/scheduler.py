@@ -1,0 +1,599 @@
+"""The in-process sparsification scheduler.
+
+:class:`SparsifierService` is the long-lived serving core the HTTP
+daemon (:mod:`repro.service.http`) wraps: a priority queue of
+:class:`~repro.service.jobs.Job` objects drained by a bounded pool of
+worker threads, with three properties a one-shot CLI call cannot give:
+
+* **Request deduplication.**  Two clients submitting the same graph +
+  method + config while the first request is still queued or running
+  share one computation: the second job becomes a *follower*
+  (``job.dedup_of`` names the primary) and receives the primary's
+  RunRecord verbatim when it finishes.  The dedup key is the graph's
+  content fingerprint plus the fully-resolved config — two spellings
+  of the same options coalesce, and the same file uploaded twice
+  coalesces with a server-side path to identical content.
+* **Warm artifact reuse.**  Jobs on the same graph share one
+  :class:`~repro.api.SparsifierSession` (memoized per graph
+  fingerprint, LRU-bounded), and every session shares one persistent
+  disk-cache root — so repeated traffic warms monotonically: the
+  spanning tree, tree-phase scores and resistance sketches derived for
+  one request serve every later request on that graph, across daemon
+  restarts.
+* **Graceful drain.**  :meth:`SparsifierService.shutdown` stops
+  accepting work, finishes (or cancels) the queue, and joins every
+  worker — the hook the daemon's SIGINT/SIGTERM handling calls.
+
+Worker concurrency is bounded with the same knob semantics as the
+fork pool (:func:`repro.core.parallel.resolve_workers`: ``0`` = one
+per CPU); jobs with ``shards > 1`` route through
+:func:`repro.core.sharding.sharded_sparsify` exactly like a direct
+:func:`repro.sparsify` call.  Jobs touching the *same* graph are
+serialized on a per-session lock (they contend for the same artifacts
+anyway), while jobs on different graphs run concurrently.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import Counter, OrderedDict
+
+from repro.core.parallel import resolve_workers
+from repro.exceptions import ServiceError, ServiceUnavailableError
+from repro.service.jobs import Job, JobSpec, graph_source_key, load_graph_source
+
+__all__ = ["SparsifierService"]
+
+
+class _SessionSlot:
+    """One per-graph session plus the lock serializing jobs on it."""
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.lock = threading.Lock()
+
+
+class SparsifierService:
+    """Priority-queue scheduler with dedup and shared warm sessions.
+
+    Parameters
+    ----------
+    workers : int
+        Worker-thread count: ``1`` serial, ``N > 1`` that many threads,
+        ``0`` one per CPU (same semantics as
+        :func:`repro.core.parallel.resolve_workers`).
+    persistent : bool
+        Attach the content-addressed disk cache
+        (:class:`~repro.core.diskcache.DiskCache`) to every per-graph
+        session, so artifacts survive daemon restarts (default on —
+        warm restarts are the point of a service).
+    cache_dir : str or pathlib.Path, optional
+        Shared disk-cache root for *all* sessions (default
+        ``$REPRO_CACHE_DIR`` / ``~/.cache/repro``); implies
+        ``persistent=True``.
+    max_sessions : int
+        In-memory session LRU bound: the service keeps warm sessions
+        (and loaded graphs) for at most this many distinct graphs;
+        evicted graphs fall back to the disk cache (still warm, just
+        restored from disk) or are re-read from their source.
+    max_jobs : int
+        Finished-job retention bound: once the ledger exceeds this,
+        the oldest *finished* jobs (and their records) are dropped —
+        a long-lived daemon must not accumulate every record (and
+        every inline MTX upload) it ever served.  Queued/running jobs
+        are never dropped.
+    start : bool
+        Start the worker threads immediately (default).  ``start=False``
+        leaves the queue paused — submissions accumulate (and
+        deduplicate) until :meth:`start` — which is also how tests and
+        docs demonstrate dedup deterministically.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.service import SparsifierService
+    >>> service = SparsifierService(workers=1,
+    ...                             cache_dir=tempfile.mkdtemp())
+    >>> job = service.submit({"case": "ecology2", "scale": 0.02},
+    ...                      method="grass",
+    ...                      options={"edge_fraction": 0.1})
+    >>> service.wait(job.id).status
+    'done'
+    >>> service.shutdown()
+    """
+
+    def __init__(self, *, workers: int = 2, persistent: bool = True,
+                 cache_dir=None, max_sessions: int = 8,
+                 max_jobs: int = 1000, start: bool = True) -> None:
+        self.workers = resolve_workers(workers)
+        self.persistent = bool(persistent) or cache_dir is not None
+        self.cache_dir = cache_dir
+        self.max_sessions = int(max_sessions)
+        self.max_jobs = int(max_jobs)
+        if self.max_sessions < 1:
+            raise ServiceError("max_sessions must be >= 1")
+        if self.max_jobs < 1:
+            raise ServiceError("max_jobs must be >= 1")
+
+        self._cond = threading.Condition()
+        self._queue: list = []            # (-priority, order, job_id)
+        self._seq = itertools.count(1)    # job ids
+        self._order = itertools.count(1)  # FIFO tie-break in the heap
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._inflight: dict = {}         # dedup key -> primary job id
+        self._followers: dict = {}        # primary id -> [follower ids]
+        # (source, seed) -> (graph, label); pure load memo, LRU-bounded
+        # like the sessions — jobs hold their own graph reference until
+        # they finish, so eviction here can never strand a queued job.
+        self._graphs: "OrderedDict" = OrderedDict()
+        self._sessions: "OrderedDict[str, _SessionSlot]" = OrderedDict()
+        self._running: set = set()
+        self._threads: list = []
+        self._accepting = True
+        self._stopping = False
+        self.started_at = time.time()
+
+        #: Submissions coalesced onto an in-flight identical request.
+        self.dedup_hits = 0
+        #: Sparsifications actually executed (primaries only).
+        self.completed_runs = 0
+        #: Total submissions accepted (primaries + followers).
+        self.submitted = 0
+
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start (or resume) the worker threads; idempotent."""
+        with self._cond:
+            if self._stopping:
+                raise ServiceError("service already shut down")
+            missing = self.workers - len(self._threads)
+            for k in range(missing):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-service-worker-{len(self._threads) + 1}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+            self._cond.notify_all()
+
+    @property
+    def accepting(self) -> bool:
+        """False once shutdown started; submissions are then rejected."""
+        return self._accepting
+
+    def shutdown(self, *, drain: bool = True,
+                 timeout: float | None = None) -> None:
+        """Stop accepting work and wind the service down.
+
+        With ``drain=True`` (default) every already-queued job still
+        runs to completion before the workers exit — the graceful path
+        the daemon's SIGTERM handler takes.  With ``drain=False`` the
+        queued jobs are cancelled and only the currently-running ones
+        finish — including publishing their result to followers that
+        were deduplicated onto them (those followers are *not*
+        cancelled: their computation is already paid for).  Idempotent;
+        ``timeout`` bounds the join on each worker thread.
+        """
+        with self._cond:
+            self._accepting = False
+            if not drain:
+                # Cancel every still-queued job — primaries and their
+                # deduplicated followers (never in the heap) — except
+                # followers of a *running* primary, which inherit its
+                # in-flight result moments from now.
+                running = set(self._running)
+                for job in self._jobs.values():
+                    if job.status == "queued" and \
+                            job.dedup_of not in running:
+                        self._mark_cancelled(job)
+                self._queue.clear()
+                self._followers = {
+                    primary_id: follower_ids
+                    for primary_id, follower_ids in
+                    self._followers.items()
+                    if primary_id in running
+                }
+                self._inflight = {
+                    key: job_id for key, job_id in self._inflight.items()
+                    if job_id in running
+                }
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+
+    def _live_queue_depth(self) -> int:
+        """Heap entries whose job is still queued (lock held) —
+        cancelled jobs leave ghosts behind until a worker pops them."""
+        return sum(
+            1 for entry in self._queue
+            if self._jobs.get(entry[2]) is not None
+            and self._jobs[entry[2]].status == "queued"
+        )
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until queue and workers are idle; True when they are."""
+        deadline = None if timeout is None else time.time() + timeout
+        with self._cond:
+            while self._live_queue_depth() or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.time()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(timeout=remaining)
+        return True
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, graph_source: dict, *, method: str = "proposed",
+               options: dict | None = None, label: str | None = None,
+               priority: int = 0, evaluate: bool = False) -> Job:
+        """Queue one sparsification request; return its :class:`Job`.
+
+        The graph source is loaded **now** (memoized per source), so
+        malformed requests fail synchronously and the dedup key — the
+        graph's content fingerprint plus the fully-resolved config —
+        exists before the job enters the queue.  An identical request
+        already queued or running absorbs this one: the returned job
+        carries ``dedup_of`` and will receive the primary's record.
+
+        Raises
+        ------
+        repro.exceptions.ServiceError
+            When the service is no longer accepting (shutdown started),
+            or the graph source is malformed.
+        repro.exceptions.UnknownMethodError / UnknownOptionError
+            For an unknown method or options it does not accept.
+        """
+        spec = JobSpec(
+            graph=dict(graph_source), method=str(method),
+            options=dict(options or {}), label=label,
+            priority=int(priority), evaluate=bool(evaluate),
+        )
+        config = spec.validate()
+        # The effective generation seed: the source dict's own wins,
+        # else the method options' (matching load_graph_source).  It is
+        # part of the graph's identity for generated cases, so it must
+        # be part of the memo key — otherwise a second submission with
+        # a different options seed would silently reuse the first
+        # seed's graph.
+        seed = int(spec.graph.get("seed", spec.options.get("seed", 0)))
+        source_key = (graph_source_key(spec.graph), seed)
+        graph, default_label = self._load_graph(source_key, spec.graph, seed)
+        from repro.core.diskcache import graph_fingerprint
+
+        fingerprint = graph_fingerprint(graph)
+        resolved_label = spec.label if spec.label is not None else default_label
+        dedup_key = (
+            fingerprint, spec.method,
+            tuple(sorted(config.to_dict().items())),
+            bool(spec.evaluate), resolved_label,
+        )
+        with self._cond:
+            if not self._accepting:
+                raise ServiceUnavailableError(
+                    "service is shutting down and no longer accepts jobs"
+                )
+            job = Job(
+                id=f"job-{next(self._seq):06d}", spec=spec,
+                created_at=time.time(),
+            )
+            job._fingerprint = fingerprint            # internal routing
+            job._dedup_key = dedup_key
+            job._graph = graph                 # released when finished
+            job._resolved_label = resolved_label
+            self._jobs[job.id] = job
+            self.submitted += 1
+            primary_id = self._inflight.get(dedup_key)
+            if primary_id is not None:
+                job.dedup_of = primary_id
+                self._followers.setdefault(primary_id, []).append(job.id)
+                self.dedup_hits += 1
+            else:
+                self._inflight[dedup_key] = job.id
+                heapq.heappush(
+                    self._queue, (-spec.priority, next(self._order), job.id)
+                )
+                self._cond.notify()
+        return job
+
+    def _load_graph(self, source_key, source: dict, seed: int):
+        """Load (or reuse) the graph a ``(source, seed)`` key names."""
+        with self._cond:
+            cached = self._graphs.get(source_key)
+            if cached is not None:
+                self._graphs.move_to_end(source_key)
+                return cached
+        graph, label = load_graph_source(source, seed=seed)
+        with self._cond:
+            entry = self._graphs.setdefault(source_key, (graph, label))
+            self._graphs.move_to_end(source_key)
+            while len(self._graphs) > self.max_sessions:
+                self._graphs.popitem(last=False)
+            return entry
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Job:
+        """Look up a job by id; raise :class:`ServiceError` if absent."""
+        with self._cond:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ServiceError(f"unknown job id {job_id!r}") from None
+
+    def jobs(self) -> list:
+        """Every job the service has seen, in submission order."""
+        with self._cond:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until a job reaches a terminal status; return it."""
+        deadline = None if timeout is None else time.time() + timeout
+        with self._cond:
+            job = self.job(job_id)
+            while not job.finished:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.time()
+                    if remaining <= 0:
+                        raise ServiceError(
+                            f"timed out waiting for {job_id} "
+                            f"(status {job.status!r})"
+                        )
+                self._cond.wait(timeout=remaining)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job (primaries promote their first follower).
+
+        Running and finished jobs cannot be cancelled — the attempt
+        raises :class:`~repro.exceptions.ServiceError` (the HTTP layer
+        maps it to 409).  Cancelling a deduplicated follower only
+        detaches that follower; cancelling a primary with followers
+        promotes the oldest follower to primary so the shared
+        computation still happens for the clients still waiting on it.
+        """
+        with self._cond:
+            job = self.job(job_id)
+            if job.status != "queued":
+                raise ServiceError(
+                    f"cannot cancel {job_id}: status is {job.status!r} "
+                    "(only queued jobs are cancellable)"
+                )
+            if job.dedup_of is not None:
+                self._followers.get(job.dedup_of, []).remove(job.id)
+                self._mark_cancelled(job)
+                return job
+            followers = self._followers.pop(job.id, [])
+            self._mark_cancelled(job)
+            if followers:
+                heir = self._jobs[followers[0]]
+                heir.dedup_of = None
+                self._inflight[heir._dedup_key] = heir.id
+                remaining = followers[1:]
+                if remaining:
+                    self._followers[heir.id] = remaining
+                    for fid in remaining:
+                        self._jobs[fid].dedup_of = heir.id
+                heapq.heappush(
+                    self._queue,
+                    (-heir.spec.priority, next(self._order), heir.id),
+                )
+                self._cond.notify()
+            else:
+                if self._inflight.get(job._dedup_key) == job.id:
+                    del self._inflight[job._dedup_key]
+            return job
+
+    def stats(self) -> dict:
+        """Queue/dedup/session/cache counters (the ``/stats`` payload).
+
+        ``cache`` aggregates the per-kind disk-cache counters of every
+        live session (hit/miss/store/eviction/error totals), so a
+        monotonically-warming service shows ``hits`` growing while
+        ``stores`` stalls.
+        """
+        with self._cond:
+            by_status = Counter(job.status for job in self._jobs.values())
+            sessions = list(self._sessions.values())
+            stats = {
+                "queue_depth": self._live_queue_depth(),
+                "running": len(self._running),
+                "jobs": {status: by_status.get(status, 0)
+                         for status in
+                         ("queued", "running", "done", "failed",
+                          "cancelled")},
+                "submitted": self.submitted,
+                "completed_runs": self.completed_runs,
+                "dedup_hits": self.dedup_hits,
+                "workers": self.workers,
+                "accepting": self._accepting,
+                "sessions": len(self._sessions),
+                "uptime_seconds": time.time() - self.started_at,
+            }
+        cache = {
+            "persistent": self.persistent,
+            "hits": 0, "misses": 0, "stores": 0,
+            "evictions": 0, "errors": 0,
+        }
+        if self.persistent:
+            from repro.core.diskcache import default_cache_root
+
+            cache["root"] = str(
+                self.cache_dir if self.cache_dir is not None
+                else default_cache_root()
+            )
+        for slot in sessions:
+            disk = slot.session.stats().get("disk")
+            if disk is None:
+                continue
+            cache.setdefault("root", disk["root"])
+            for counter in ("hits", "misses", "stores", "evictions",
+                            "errors"):
+                cache[counter] += sum(disk[counter].values())
+        stats["cache"] = cache
+        return stats
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _session_for(self, job: Job) -> _SessionSlot:
+        """The (memoized, LRU-bounded) session slot for a job's graph."""
+        from repro.api import SparsifierSession
+
+        fingerprint = job._fingerprint
+        with self._cond:
+            slot = self._sessions.get(fingerprint)
+            if slot is not None:
+                self._sessions.move_to_end(fingerprint)
+                return slot
+            graph = job._graph
+        session = SparsifierSession(
+            graph, label=job._resolved_label,
+            persistent=self.persistent, cache_dir=self.cache_dir,
+        )
+        slot = _SessionSlot(session)
+        with self._cond:
+            existing = self._sessions.get(fingerprint)
+            if existing is not None:
+                return existing
+            self._sessions[fingerprint] = slot
+            # Evict LRU-first, but never a session mid-job (its lock is
+            # held): evicting one would let a second job on that graph
+            # build a duplicate session and run unserialized beside it.
+            # If every session is busy, tolerate a temporary overshoot.
+            while len(self._sessions) > self.max_sessions:
+                victims = [
+                    victim
+                    for victim, victim_slot in self._sessions.items()
+                    if victim != fingerprint
+                    and not victim_slot.lock.locked()
+                ]
+                if not victims:
+                    break
+                del self._sessions[victims[0]]
+        return slot
+
+    def _worker_loop(self) -> None:
+        """One worker thread: pop → run → publish, until shutdown."""
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if not self._queue and self._stopping:
+                    return
+                _, _, job_id = heapq.heappop(self._queue)
+                job = self._jobs.get(job_id)
+                if job is None or job.status != "queued":
+                    # Ghost entry (cancelled/pruned while queued): tell
+                    # drain()/shutdown waiters the queue shrank, or a
+                    # drain that last saw the ghost would sleep forever.
+                    self._cond.notify_all()
+                    continue
+                job.status = "running"
+                job.started_at = time.time()
+                self._running.add(job.id)
+                self._cond.notify_all()
+            try:
+                record = self._execute(job)
+            except Exception as exc:
+                # Any failure — bad numerics, a runner bug — fails this
+                # job (and its followers); the worker itself survives.
+                self._finish(job, error=f"{type(exc).__name__}: {exc}")
+            else:
+                self._finish(job, record=record)
+
+    def _execute(self, job: Job) -> dict:
+        """Run one primary job on its graph's shared warm session."""
+        from repro.api import RunRecord
+        from repro.core.metrics import evaluate_sparsifier
+        from repro.utils.timers import Timer
+
+        slot = self._session_for(job)
+        spec = job.spec
+        with slot.lock:
+            result = slot.session.sparsify(spec.method, **spec.options)
+            quality = None
+            evaluate_seconds = None
+            if spec.evaluate:
+                timer = Timer()
+                with timer:
+                    quality = evaluate_sparsifier(
+                        slot.session.graph, result.sparsifier,
+                        seed=result.config.seed,
+                    )
+                evaluate_seconds = timer.elapsed
+        record = RunRecord.from_result(
+            result, method=spec.method, label=job._resolved_label,
+            quality=quality, evaluate_seconds=evaluate_seconds,
+        )
+        return record.to_dict()
+
+    def _finish(self, job: Job, *, record: dict | None = None,
+                error: str | None = None) -> None:
+        """Publish a primary's outcome to it and all its followers."""
+        with self._cond:
+            self._running.discard(job.id)
+            if self._inflight.get(job._dedup_key) == job.id:
+                del self._inflight[job._dedup_key]
+            finished_at = time.time()
+            targets = [job] + [
+                self._jobs[fid]
+                for fid in self._followers.pop(job.id, [])
+                if self._jobs[fid].status == "queued"
+            ]
+            for target in targets:
+                target.record = record
+                target.error = error
+                target.status = "done" if error is None else "failed"
+                if target.started_at is None:
+                    target.started_at = job.started_at
+                target.finished_at = finished_at
+                target._graph = None        # release the loaded graph
+            if record is not None:
+                self.completed_runs += 1
+            self._prune_jobs()
+            self._cond.notify_all()
+
+    def _mark_cancelled(self, job: Job) -> None:
+        """Transition a queued job to ``cancelled`` (lock held)."""
+        job.status = "cancelled"
+        job.finished_at = time.time()
+        job._graph = None                   # release the loaded graph
+        self._prune_jobs()
+        self._cond.notify_all()
+
+    def _prune_jobs(self) -> None:
+        """Drop the oldest finished jobs beyond ``max_jobs`` (lock
+        held); their ids become unknown to :meth:`job` afterwards."""
+        excess = len(self._jobs) - self.max_jobs
+        if excess <= 0:
+            return
+        stale = [
+            job_id for job_id, job in self._jobs.items()
+            if job.finished
+        ][:excess]
+        for job_id in stale:
+            del self._jobs[job_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._cond:
+            return (
+                f"SparsifierService(workers={self.workers}, "
+                f"jobs={len(self._jobs)}, queued={len(self._queue)}, "
+                f"dedup_hits={self.dedup_hits})"
+            )

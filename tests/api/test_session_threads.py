@@ -1,0 +1,136 @@
+"""Concurrency regression tests for SparsifierSession/ArtifactStore.
+
+The service scheduler hammers one session's artifact store from many
+worker threads; the store's lock must make that safe — every thread
+observes the same artifacts and results stay bit-identical to a
+single-threaded (and to a session-less cold) run.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import SparsifierSession, sparsify
+from repro.graph import grid2d
+
+CONFIGS = [
+    ("proposed", {"edge_fraction": 0.1, "rounds": 2}),
+    ("grass", {"edge_fraction": 0.1, "rounds": 1}),
+    ("er_sampling", {"edge_fraction": 0.1}),
+]
+N_THREADS = 6
+
+
+def _edges(result):
+    g = result.sparsifier
+    return (g.u.tobytes(), g.v.tobytes(), g.w.tobytes())
+
+
+class TestSessionThreadSafety:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return grid2d(12, 12, weights="uniform", seed=7)
+
+    def test_hammered_session_is_bit_identical_to_cold(self, graph):
+        baselines = {
+            method: sparsify(graph, method, **options)
+            for method, options in CONFIGS
+        }
+        session = SparsifierSession(graph, label="hammer")
+        outcomes = [None] * N_THREADS
+        errors = []
+
+        def _worker(slot: int) -> None:
+            try:
+                outcomes[slot] = {
+                    method: _edges(session.sparsify(method, **options))
+                    for method, options in CONFIGS
+                }
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=_worker, args=(slot,))
+            for slot in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not errors
+        expected = {
+            method: _edges(result)
+            for method, result in baselines.items()
+        }
+        for outcome in outcomes:
+            assert outcome == expected
+
+    def test_stats_do_not_block_behind_an_inflight_build(self, graph):
+        """Regression: a long artifact build must not freeze readers —
+        the service's /stats endpoint snapshots counters while worker
+        threads are mid-build."""
+        session = SparsifierSession(graph, label="nonblocking")
+        build_started = threading.Event()
+        release_build = threading.Event()
+
+        def _slow_build():
+            build_started.set()
+            assert release_build.wait(timeout=60)
+            return "built"
+
+        builder = threading.Thread(
+            target=lambda: session.artifacts.get(
+                "slow-artifact", (), _slow_build
+            ),
+        )
+        builder.start()
+        try:
+            assert build_started.wait(timeout=60)
+            done = threading.Event()
+            stats_holder = {}
+            reader = threading.Thread(
+                target=lambda: (stats_holder.update(session.stats()),
+                                done.set()),
+            )
+            reader.start()
+            assert done.wait(timeout=10), \
+                "stats() blocked behind an in-flight build"
+            assert stats_holder["misses"]["slow-artifact"] == 1
+        finally:
+            release_build.set()
+            builder.join(timeout=60)
+
+    def test_artifacts_built_exactly_once_under_contention(self, graph):
+        session = SparsifierSession(graph, label="contention")
+        barrier = threading.Barrier(N_THREADS)
+        built = []
+        build_lock = threading.Lock()
+
+        def _build():
+            with build_lock:
+                built.append(threading.get_ident())
+            return np.arange(graph.n)
+
+        values = [None] * N_THREADS
+
+        def _worker(slot: int) -> None:
+            barrier.wait()
+            values[slot] = session.artifacts.get(
+                "test-artifact", ("shared",), _build
+            )
+
+        threads = [
+            threading.Thread(target=_worker, args=(slot,))
+            for slot in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(built) == 1                    # single build won
+        for value in values:
+            assert value is values[0]             # everyone shares it
+        stats = session.stats()
+        assert stats["hits"]["test-artifact"] == N_THREADS - 1
+        assert stats["misses"]["test-artifact"] == 1

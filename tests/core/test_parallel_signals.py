@@ -1,0 +1,95 @@
+"""Regression: an interrupted parallel_map leaves no orphaned children.
+
+A SIGINT (or a SIGTERM handler raising SystemExit) delivered to the
+*driver* process while a fork pool is mid-flight must terminate and
+reap every forked worker before the exception propagates — otherwise
+``kill <pid>`` on a long sparsification leaves detached children
+burning CPU.  Exercised through a real subprocess, because the failure
+mode is a process-tree property.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+DRIVER = """
+import os, sys, time
+from repro.core.parallel import parallel_map
+
+pid_dir = sys.argv[1]
+
+def task(index):
+    path = os.path.join(pid_dir, f"child-{index}.pid")
+    with open(path, "w") as handle:
+        handle.write(str(os.getpid()))
+    time.sleep(120)            # far beyond the test budget
+    return index
+
+try:
+    parallel_map(task, 2, workers=2)
+except KeyboardInterrupt:
+    sys.exit(42)               # cleanup ran; exception propagated
+sys.exit(7)                    # pool finished?! should be unreachable
+"""
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+@pytest.mark.skipif(not sys.platform.startswith("linux"),
+                    reason="fork pool is Linux-only")
+def test_sigint_terminates_forked_children(tmp_path):
+    pid_dir = tmp_path / "pids"
+    pid_dir.mkdir()
+    script = tmp_path / "driver.py"
+    script.write_text(DRIVER)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{REPO_SRC}:{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH") else str(REPO_SRC)
+    )
+    proc = subprocess.Popen(
+        [sys.executable, str(script), str(pid_dir)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # Wait until both forked workers checked in, then interrupt
+        # the driver only (the children never see the signal — that is
+        # exactly the orphaning scenario).
+        deadline = time.time() + 60
+        while len(list(pid_dir.glob("child-*.pid"))) < 2:
+            assert time.time() < deadline, "workers never started"
+            assert proc.poll() is None, proc.communicate()
+            time.sleep(0.05)
+        child_pids = [
+            int(path.read_text())
+            for path in sorted(pid_dir.glob("child-*.pid"))
+        ]
+        assert all(_alive(pid) for pid in child_pids)
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=60)
+    finally:
+        proc.kill()
+    assert proc.returncode == 42, (out, err)
+    # The children must be gone shortly after the driver exits —
+    # terminated and reaped by the interrupt path, not orphaned.
+    deadline = time.time() + 20
+    while any(_alive(pid) for pid in child_pids):
+        assert time.time() < deadline, (
+            f"orphaned fork-pool children survive: "
+            f"{[p for p in child_pids if _alive(p)]}"
+        )
+        time.sleep(0.1)

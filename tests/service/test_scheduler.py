@@ -1,0 +1,447 @@
+"""Tests for the in-process scheduler: dedup, priority, cancellation,
+drain, failure isolation and warm restarts."""
+
+import time
+
+import pytest
+
+from repro.api import RunRecord, sparsify
+from repro.api.registry import _REGISTRY, MethodSpec
+from repro.core.base import BaseSparsifierConfig
+from repro.exceptions import ServiceError, UnknownOptionError
+from repro.graph import make_case
+from repro.service import SparsifierService
+
+SOURCE = {"case": "ecology2", "scale": 0.02}
+OPTS = {"edge_fraction": 0.1}
+
+
+@pytest.fixture
+def paused(tmp_path):
+    """A service whose workers have not started: submissions queue up."""
+    service = SparsifierService(
+        workers=1, cache_dir=tmp_path / "cache", start=False
+    )
+    yield service
+    service.shutdown(drain=False, timeout=10.0)
+
+
+def _inject_method(name, runner):
+    assert name not in _REGISTRY
+    _REGISTRY[name] = MethodSpec(
+        name=name, runner=runner, config_cls=BaseSparsifierConfig
+    )
+
+
+@pytest.fixture
+def failing_method():
+    name = "svc-test-failing"
+
+    def _boom(graph, config, artifacts=None):
+        raise RuntimeError("boom")
+
+    _inject_method(name, _boom)
+    yield name
+    del _REGISTRY[name]
+
+
+class TestDedup:
+    def test_identical_submissions_share_one_run(self, paused):
+        j1 = paused.submit(SOURCE, method="grass", options=OPTS)
+        j2 = paused.submit(SOURCE, method="grass", options=OPTS)
+        assert j2.dedup_of == j1.id
+        assert paused.dedup_hits == 1
+        paused.start()
+        done1 = paused.wait(j1.id, timeout=120)
+        done2 = paused.wait(j2.id, timeout=120)
+        assert done1.status == done2.status == "done"
+        assert paused.completed_runs == 1          # exactly one run
+        assert done1.record == done2.record
+        assert done2.started_at == done1.started_at
+
+    def test_option_spelling_coalesces_via_resolved_config(self, paused):
+        # Defaults spelled out vs. omitted resolve to the same config.
+        j1 = paused.submit(SOURCE, method="grass",
+                           options={"edge_fraction": 0.1})
+        j2 = paused.submit(SOURCE, method="grass",
+                           options={"edge_fraction": 0.1, "seed": 0})
+        assert j2.dedup_of == j1.id
+
+    def test_different_configs_do_not_coalesce(self, paused):
+        j1 = paused.submit(SOURCE, method="grass", options=OPTS)
+        j2 = paused.submit(SOURCE, method="grass",
+                           options={"edge_fraction": 0.2})
+        j3 = paused.submit(SOURCE, method="fegrass", options=OPTS)
+        assert j2.dedup_of is None
+        assert j3.dedup_of is None
+        assert j1.dedup_of is None
+        assert paused.dedup_hits == 0
+
+    def test_dedup_against_running_primary(self, tmp_path):
+        name = "svc-test-slow"
+        grass = _REGISTRY["grass"]
+
+        def _slow(graph, config, artifacts=None):
+            time.sleep(0.4)
+            return grass.runner(
+                graph, grass.config_cls(edge_fraction=0.1),
+                artifacts=None,
+            )
+
+        _inject_method(name, _slow)
+        try:
+            service = SparsifierService(
+                workers=1, cache_dir=tmp_path / "cache"
+            )
+            j1 = service.submit(SOURCE, method=name)
+            deadline = time.time() + 30
+            while service.job(j1.id).status == "queued":
+                assert time.time() < deadline
+                time.sleep(0.01)
+            j2 = service.submit(SOURCE, method=name)  # primary running
+            assert j2.dedup_of == j1.id
+            assert service.wait(j2.id, timeout=120).status == "done"
+            assert service.completed_runs == 1
+            service.shutdown()
+        finally:
+            del _REGISTRY[name]
+
+    def test_options_seed_selects_a_distinct_generated_graph(
+            self, paused):
+        """Regression: the graph memo must key on the effective
+        generation seed — a second submission with a different
+        options seed is a *different* generated case, not a cache
+        hit on the first seed's graph."""
+        j1 = paused.submit(SOURCE, method="grass",
+                           options={"edge_fraction": 0.1, "seed": 1})
+        j2 = paused.submit(SOURCE, method="grass",
+                           options={"edge_fraction": 0.1, "seed": 2})
+        assert j2.dedup_of is None
+        assert j1._fingerprint != j2._fingerprint
+
+    def test_finished_jobs_do_not_absorb_new_ones(self, tmp_path):
+        service = SparsifierService(workers=1, cache_dir=tmp_path / "c")
+        j1 = service.submit(SOURCE, method="grass", options=OPTS)
+        service.wait(j1.id, timeout=120)
+        j2 = service.submit(SOURCE, method="grass", options=OPTS)
+        assert j2.dedup_of is None                 # warm rerun, not dedup
+        assert service.wait(j2.id, timeout=120).status == "done"
+        assert service.completed_runs == 2
+        service.shutdown()
+
+
+class TestResultFidelity:
+    def test_record_fingerprint_matches_direct_sparsify(self, tmp_path):
+        service = SparsifierService(workers=1, cache_dir=tmp_path / "c")
+        job = service.submit(SOURCE, method="grass", options=OPTS)
+        record = RunRecord.from_dict(
+            service.wait(job.id, timeout=120).record
+        )
+        service.shutdown()
+
+        graph, spec = make_case("ecology2", scale=0.02, seed=0)
+        direct = RunRecord.from_result(
+            sparsify(graph, "grass", **OPTS),
+            method="grass", label=spec.name,
+        )
+        assert record.fingerprint() == direct.fingerprint()
+
+    def test_sharded_jobs_route_through_the_pipeline(self, tmp_path):
+        service = SparsifierService(workers=1, cache_dir=tmp_path / "c")
+        job = service.submit(
+            SOURCE, method="grass",
+            options={"edge_fraction": 0.1, "shards": 2},
+        )
+        record = service.wait(job.id, timeout=120).record
+        service.shutdown()
+        assert record["sharding"] is not None
+        assert record["sharding"]["shards"] == 2
+        assert len(record["sharding"]["per_shard"]) == 2
+
+    def test_evaluate_attaches_quality(self, tmp_path):
+        service = SparsifierService(workers=1, cache_dir=tmp_path / "c")
+        job = service.submit(SOURCE, method="grass", options=OPTS,
+                             evaluate=True)
+        record = service.wait(job.id, timeout=120).record
+        service.shutdown()
+        assert record["quality"]["kappa"] > 1.0
+        assert "evaluate_seconds" in record["timings"]
+
+
+class TestWarmRestart:
+    def test_second_service_on_same_root_is_warm(self, tmp_path):
+        cache = tmp_path / "shared-cache"
+        first = SparsifierService(workers=1, cache_dir=cache)
+        j1 = first.submit(SOURCE, method="grass", options=OPTS)
+        rec1 = RunRecord.from_dict(first.wait(j1.id, timeout=120).record)
+        assert sum(
+            sum(s.session.stats()["disk"]["stores"].values())
+            for s in first._sessions.values()
+        ) > 0
+        first.shutdown()
+
+        second = SparsifierService(workers=1, cache_dir=cache)
+        j2 = second.submit(SOURCE, method="grass", options=OPTS)
+        rec2 = RunRecord.from_dict(
+            second.wait(j2.id, timeout=120).record
+        )
+        stats = second.stats()
+        second.shutdown()
+        # Setup re-derivation was skipped: artifacts restored from disk,
+        # nothing newly stored, and the restore time is attributed.
+        assert stats["cache"]["hits"] > 0
+        assert stats["cache"]["stores"] == 0
+        assert rec2.timings["restore_seconds"] > 0
+        assert rec2.fingerprint() == rec1.fingerprint()
+
+
+class TestLifecycle:
+    def test_priority_orders_the_queue(self, paused):
+        low = paused.submit(SOURCE, method="grass", options=OPTS)
+        high = paused.submit(SOURCE, method="fegrass",
+                             options={"edge_fraction": 0.1},
+                             priority=10)
+        paused.start()
+        paused.wait(low.id, timeout=120)
+        paused.wait(high.id, timeout=120)
+        assert high.started_at < low.started_at
+
+    def test_cancel_queued_job(self, paused):
+        job = paused.submit(SOURCE, method="grass", options=OPTS)
+        cancelled = paused.cancel(job.id)
+        assert cancelled.status == "cancelled"
+        paused.start()
+        other = paused.submit(SOURCE, method="fegrass",
+                              options={"edge_fraction": 0.1})
+        paused.wait(other.id, timeout=120)
+        assert paused.job(job.id).status == "cancelled"
+        assert paused.completed_runs == 1          # cancelled never ran
+
+    def test_cancel_primary_promotes_follower(self, paused):
+        j1 = paused.submit(SOURCE, method="grass", options=OPTS)
+        j2 = paused.submit(SOURCE, method="grass", options=OPTS)
+        j3 = paused.submit(SOURCE, method="grass", options=OPTS)
+        assert j2.dedup_of == j1.id
+        paused.cancel(j1.id)
+        assert j2.dedup_of is None                 # promoted
+        assert j3.dedup_of == j2.id                # re-pointed
+        paused.start()
+        assert paused.wait(j2.id, timeout=120).status == "done"
+        assert paused.wait(j3.id, timeout=120).status == "done"
+        assert paused.job(j1.id).status == "cancelled"
+        assert paused.completed_runs == 1
+
+    def test_cancel_follower_leaves_primary(self, paused):
+        j1 = paused.submit(SOURCE, method="grass", options=OPTS)
+        j2 = paused.submit(SOURCE, method="grass", options=OPTS)
+        paused.cancel(j2.id)
+        paused.start()
+        assert paused.wait(j1.id, timeout=120).status == "done"
+        assert paused.job(j2.id).status == "cancelled"
+
+    def test_cancel_finished_job_raises(self, tmp_path):
+        service = SparsifierService(workers=1, cache_dir=tmp_path / "c")
+        job = service.submit(SOURCE, method="grass", options=OPTS)
+        service.wait(job.id, timeout=120)
+        with pytest.raises(ServiceError, match="cannot cancel"):
+            service.cancel(job.id)
+        service.shutdown()
+
+    def test_wait_times_out(self, paused):
+        job = paused.submit(SOURCE, method="grass", options=OPTS)
+        with pytest.raises(ServiceError, match="timed out"):
+            paused.wait(job.id, timeout=0.05)
+
+    def test_shutdown_drains_the_queue(self, paused):
+        ids = [
+            paused.submit(SOURCE, method="grass",
+                          options={"edge_fraction": f}).id
+            for f in (0.05, 0.1, 0.15)
+        ]
+        paused.start()
+        paused.shutdown(drain=True)
+        assert [paused.job(i).status for i in ids] == ["done"] * 3
+        with pytest.raises(ServiceError, match="no longer accepts"):
+            paused.submit(SOURCE, method="grass", options=OPTS)
+
+    def test_shutdown_without_drain_cancels_queued(self, paused):
+        ids = [
+            paused.submit(SOURCE, method="grass",
+                          options={"edge_fraction": f}).id
+            for f in (0.05, 0.1)
+        ]
+        follower = paused.submit(SOURCE, method="grass",
+                                 options={"edge_fraction": 0.05})
+        paused.shutdown(drain=False)
+        statuses = [paused.job(i).status for i in ids]
+        assert statuses == ["cancelled", "cancelled"]
+        assert paused.job(follower.id).status == "cancelled"
+
+    def test_no_drain_shutdown_keeps_followers_of_running_primary(
+            self, tmp_path):
+        """Regression: drain=False cancels the *queue*, but a follower
+        deduplicated onto an already-running primary still inherits
+        its result — the computation is already paid for."""
+        name = "svc-test-slow-drain"
+        grass = _REGISTRY["grass"]
+
+        def _slow(graph, config, artifacts=None):
+            time.sleep(0.5)
+            return grass.runner(
+                graph, grass.config_cls(edge_fraction=0.1),
+                artifacts=None,
+            )
+
+        _inject_method(name, _slow)
+        try:
+            service = SparsifierService(
+                workers=1, cache_dir=tmp_path / "cache"
+            )
+            primary = service.submit(SOURCE, method=name)
+            deadline = time.time() + 30
+            while service.job(primary.id).status == "queued":
+                assert time.time() < deadline
+                time.sleep(0.01)
+            follower = service.submit(SOURCE, method=name)
+            queued = service.submit(SOURCE, method="grass",
+                                    options=OPTS)
+            assert follower.dedup_of == primary.id
+            service.shutdown(drain=False)
+            assert service.job(primary.id).status == "done"
+            assert service.job(follower.id).status == "done"
+            assert follower.record == primary.record
+            assert service.job(queued.id).status == "cancelled"
+        finally:
+            del _REGISTRY[name]
+
+    def test_failing_job_fails_cleanly(self, paused, failing_method):
+        primary = paused.submit(SOURCE, method=failing_method)
+        follower = paused.submit(SOURCE, method=failing_method)
+        healthy = paused.submit(SOURCE, method="grass", options=OPTS)
+        paused.start()
+        failed = paused.wait(primary.id, timeout=120)
+        assert failed.status == "failed"
+        assert "boom" in failed.error
+        assert paused.wait(follower.id, timeout=120).status == "failed"
+        assert paused.wait(healthy.id, timeout=120).status == "done"
+
+    def test_drain_returns_after_a_cancelled_ghost_is_skipped(
+            self, paused):
+        """Regression: a cancelled job leaves a ghost heap entry; when
+        a worker pops and skips it, drain() must be woken — it used to
+        sleep forever on a queue that was only ghost-deep."""
+        victim = paused.submit(SOURCE, method="fegrass",
+                               options={"edge_fraction": 0.1})
+        survivor = paused.submit(SOURCE, method="grass", options=OPTS)
+        paused.cancel(victim.id)
+        paused.start()
+        assert paused.drain(timeout=120)
+        assert paused.job(survivor.id).status == "done"
+        assert paused.job(victim.id).status == "cancelled"
+
+    def test_finished_job_ledger_is_bounded(self, tmp_path):
+        service = SparsifierService(
+            workers=1, cache_dir=tmp_path / "c", max_jobs=2
+        )
+        ids = []
+        for fraction in (0.05, 0.1, 0.15):
+            job = service.submit(SOURCE, method="grass",
+                                 options={"edge_fraction": fraction})
+            service.wait(job.id, timeout=120)
+            ids.append(job.id)
+        service.shutdown()
+        # Oldest finished job evicted; the newest two retained.
+        with pytest.raises(ServiceError, match="unknown job id"):
+            service.job(ids[0])
+        assert service.job(ids[1]).status == "done"
+        assert service.job(ids[2]).status == "done"
+
+    def test_finished_jobs_release_their_graph(self, tmp_path):
+        service = SparsifierService(workers=1, cache_dir=tmp_path / "c")
+        job = service.submit(SOURCE, method="grass", options=OPTS)
+        assert job._graph is not None
+        service.wait(job.id, timeout=120)
+        service.shutdown()
+        assert job._graph is None
+        assert len(service._graphs) <= service.max_sessions
+
+    def test_unknown_job_id_raises(self, paused):
+        with pytest.raises(ServiceError, match="unknown job id"):
+            paused.job("job-999999")
+
+    def test_submit_validates_options_synchronously(self, paused):
+        with pytest.raises(UnknownOptionError):
+            paused.submit(SOURCE, method="fegrass",
+                          options={"rounds": 3})
+        with pytest.raises(ServiceError):
+            paused.submit({"case": "no-such-case"})
+
+
+class TestStatsAndSessions:
+    def test_stats_counts_everything(self, paused, failing_method):
+        paused.submit(SOURCE, method="grass", options=OPTS)
+        paused.submit(SOURCE, method="grass", options=OPTS)   # follower
+        doomed = paused.submit(SOURCE, method=failing_method)
+        victim = paused.submit(SOURCE, method="fegrass",
+                               options={"edge_fraction": 0.1})
+        paused.cancel(victim.id)
+        stats = paused.stats()
+        assert stats["queue_depth"] == 2
+        assert stats["jobs"]["queued"] == 3        # incl. the follower
+        assert stats["jobs"]["cancelled"] == 1
+        assert stats["dedup_hits"] == 1
+        assert stats["submitted"] == 4
+        paused.start()
+        paused.wait(doomed.id, timeout=120)
+        paused.drain(timeout=120)
+        stats = paused.stats()
+        assert stats["jobs"]["done"] == 2
+        assert stats["jobs"]["failed"] == 1
+        assert stats["completed_runs"] == 1
+        assert stats["cache"]["persistent"] is True
+        assert "root" in stats["cache"]
+
+    def test_sessions_are_shared_per_graph(self, tmp_path):
+        service = SparsifierService(workers=1, cache_dir=tmp_path / "c")
+        a = service.submit(SOURCE, method="grass", options=OPTS)
+        b = service.submit(SOURCE, method="fegrass",
+                           options={"edge_fraction": 0.1})
+        service.wait(a.id, timeout=120)
+        service.wait(b.id, timeout=120)
+        stats = service.stats()
+        service.shutdown()
+        assert stats["sessions"] == 1              # one graph, one session
+
+    def test_session_lru_never_evicts_a_busy_session(self, tmp_path):
+        """Eviction skips sessions whose lock is held (a job is mid-run
+        on them): evicting one would spawn a duplicate session and run
+        same-graph jobs unserialized."""
+        service = SparsifierService(
+            workers=1, cache_dir=tmp_path / "c", max_sessions=1,
+            start=False,
+        )
+        busy = service.submit(SOURCE, method="grass", options=OPTS)
+        slot = service._session_for(busy)
+        assert slot.lock.acquire(blocking=False)   # simulate a run
+        try:
+            other = service.submit({"case": "ecology2", "scale": 0.03},
+                                   method="grass", options=OPTS)
+            service._session_for(other)            # triggers eviction
+            assert busy._fingerprint in service._sessions  # survived
+            assert other._fingerprint in service._sessions  # overshoot
+        finally:
+            slot.lock.release()
+            service.shutdown(drain=False, timeout=10.0)
+
+    def test_session_lru_is_bounded(self, tmp_path):
+        service = SparsifierService(
+            workers=1, cache_dir=tmp_path / "c", max_sessions=1
+        )
+        a = service.submit(SOURCE, method="grass", options=OPTS)
+        b = service.submit({"case": "ecology2", "scale": 0.03},
+                           method="grass", options=OPTS)
+        service.wait(a.id, timeout=120)
+        service.wait(b.id, timeout=120)
+        stats = service.stats()
+        service.shutdown()
+        assert stats["sessions"] == 1

@@ -2,10 +2,10 @@
 """Docstring-coverage lint for the public API surface.
 
 Walks the published surface — everything ``repro.api``,
-``repro.backends`` and ``repro.core.sharding`` export,
-``repro.sparsify``, and every config class the method registry
-exposes — and fails when any public object (module, class, function,
-method or property) lacks a docstring.
+``repro.backends``, ``repro.core.sharding`` and ``repro.service``
+export, ``repro.sparsify``, and every config class the method
+registry exposes — and fails when any public object (module, class,
+function, method or property) lacks a docstring.
 ``make docs-check`` runs this, so an undocumented addition to the
 public API fails CI rather than shipping dark.
 
@@ -62,6 +62,7 @@ def public_surface():
     import repro.api
     import repro.backends
     import repro.core.sharding
+    import repro.service
     from repro.api.registry import get_method, list_methods
 
     surface = [("repro", repro), ("repro.sparsify", repro.sparsify)]
@@ -69,7 +70,8 @@ def public_surface():
         obj = getattr(repro, name)
         if not inspect.ismodule(obj):
             surface.append((f"repro.{name}", obj))
-    for module in (repro.api, repro.backends, repro.core.sharding):
+    for module in (repro.api, repro.backends, repro.core.sharding,
+                   repro.service):
         surface.append((module.__name__, module))
         for name in module.__all__:
             surface.append((f"{module.__name__}.{name}",

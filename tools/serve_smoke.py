@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Boot the service daemon, run one job round trip, shut down cleanly.
+
+The ``make serve-smoke`` gate: starts ``repro serve`` as a subprocess
+on an ephemeral port with an isolated cache root, submits one small
+sparsification through :class:`repro.service.ServiceClient`, verifies
+the result and the ``/stats`` counters, then delivers SIGTERM and
+requires a graceful (exit 0) drain — all inside a hard wall-clock
+budget (default 60 s) so CI catches a hung daemon instead of stalling.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BUDGET_SECONDS = float(os.environ.get("SERVE_SMOKE_BUDGET", 60))
+
+
+def _fail(proc: subprocess.Popen, message: str) -> int:
+    proc.kill()
+    out = proc.stdout.read() if proc.stdout else ""
+    print(f"serve-smoke: FAIL — {message}", file=sys.stderr)
+    print(out, file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    deadline = time.time() + BUDGET_SECONDS
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        f"{src}:{env['PYTHONPATH']}" if env.get("PYTHONPATH") else src
+    )
+    env["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="serve-smoke-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", "0", "--workers", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, cwd=REPO_ROOT, env=env,
+    )
+    try:
+        return _smoke(proc, deadline)
+    finally:
+        # Never leak the daemon: any assert/client failure above still
+        # tears the subprocess down (no-op after a clean exit).
+        if proc.poll() is None:
+            proc.kill()
+
+
+def _smoke(proc: subprocess.Popen, deadline: float) -> int:
+    from repro.service import ServiceClient
+
+    # Read the banner on a helper thread: a daemon that hangs before
+    # announcing (import stall, bind hang) must fail the gate within
+    # the budget, not block readline() until the CI job times out.
+    holder: dict = {}
+    reader = threading.Thread(
+        target=lambda: holder.update(line=proc.stdout.readline()),
+        daemon=True,
+    )
+    reader.start()
+    reader.join(timeout=max(deadline - time.time(), 1.0))
+    banner = holder.get("line")
+    if banner is None:
+        return _fail(proc, "daemon printed no banner within the budget")
+    match = re.search(r"listening on (http://\S+)", banner)
+    if not match:
+        return _fail(proc, f"no listening banner, got {banner!r}")
+    url = match.group(1)
+    print(f"serve-smoke: daemon up at {url}")
+
+    client = ServiceClient(url)
+    assert client.health()["status"] == "ok"
+    job = client.submit(case="ecology2", scale=0.04, method="grass",
+                        edge_fraction=0.1)
+    record = client.result(
+        job["id"], timeout=max(deadline - time.time(), 1.0)
+    )
+    assert record["method"] == "grass", record
+    assert record["graph"]["sparsifier_edges"] > 0, record
+    stats = client.stats()
+    assert stats["jobs"]["done"] == 1, stats
+    print(f"serve-smoke: job {job['id']} done "
+          f"({record['graph']['sparsifier_edges']} edges, "
+          f"{stats['completed_runs']} run)")
+
+    proc.send_signal(signal.SIGTERM)
+    try:
+        code = proc.wait(timeout=max(deadline - time.time(), 1.0))
+    except subprocess.TimeoutExpired:
+        return _fail(proc, "daemon did not drain within the budget")
+    if code != 0:
+        return _fail(proc, f"daemon exited {code}")
+    print(f"serve-smoke: OK (graceful drain, "
+          f"{BUDGET_SECONDS - (deadline - time.time()):.1f}s "
+          f"of {BUDGET_SECONDS:.0f}s budget)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
