@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke serve-smoke docs-check
+.PHONY: test bench-smoke serve-smoke load-smoke docs-check
 
 # Tier-1 gate: the full unit/property suite.
 test:
@@ -23,6 +23,13 @@ bench-smoke:
 # all under a 60 s budget.
 serve-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) tools/serve_smoke.py
+
+# Service load sanity: tiny N-clients x M-graphs burst against both
+# executors (thread and process), cold and warm-restart phases, under
+# a 60 s budget; fails on any failed job or zero throughput.  Writes
+# BENCH_service.json.
+load-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) tools/load_test.py --smoke
 
 # The documentation gate: the generated API reference must match the
 # registries, the public API must be fully docstringed, and every

@@ -237,7 +237,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8734,
                        help="listening port (0 picks an ephemeral one)")
     serve.add_argument("--workers", type=int, default=2,
-                       help="worker threads (0 = one per CPU)")
+                       help="worker threads/processes (0 = one per CPU)")
+    serve.add_argument("--executor", choices=("thread", "process"),
+                       default="thread",
+                       help="execution backend: run jobs inline on "
+                       "worker threads, or in fingerprint-pinned "
+                       "worker processes that sidestep the GIL")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="re-runs granted to a job whose worker "
+                       "process crashed mid-job")
     serve.add_argument("--max-sessions", type=int, default=8,
                        help="warm per-graph sessions kept in memory")
     serve.add_argument("--max-jobs", type=int, default=1000,
@@ -586,6 +594,7 @@ def _cmd_serve(args) -> int:
         host=args.host, port=args.port, workers=args.workers,
         persistent=args.cache, cache_dir=args.cache_dir,
         max_sessions=args.max_sessions, max_jobs=args.max_jobs,
+        executor=args.executor, retries=args.retries,
         verbose=args.verbose,
     )
 

@@ -52,6 +52,7 @@ __all__ = [
     "collect_cache_garbage",
     "default_cache_root",
     "graph_fingerprint",
+    "iter_cache_entries",
     "source_fingerprint",
 ]
 
@@ -146,8 +147,14 @@ def _key_digest(kind: str, key: tuple) -> str:
     return hashlib.sha256(token.encode()).hexdigest()[:24]
 
 
-def _iter_cache_entries(root: Path):
-    """Yield every entry file under a cache root (all graphs/schemas)."""
+def iter_cache_entries(root: Path):
+    """Yield every entry file under a cache root (all graphs/schemas).
+
+    The deterministic (sorted) walk behind ``repro cache`` operations
+    and the fault-injection helpers — anything that needs to touch
+    entries without knowing which graph or artifact kind they belong
+    to.
+    """
     if not root.is_dir():
         return
     for schema_dir in sorted(root.glob("v*")):
@@ -188,7 +195,7 @@ def cache_root_stats(root=None) -> dict:
     entries = 0
     total_bytes = 0
     by_kind: dict = {}
-    for path in _iter_cache_entries(root):
+    for path in iter_cache_entries(root):
         try:
             size = path.stat().st_size
         except OSError:  # pragma: no cover - racing eviction
@@ -228,7 +235,7 @@ def collect_cache_garbage(root=None, max_age_days: float | None = None
 
     cutoff = time.time() - float(max_age_days) * 86400.0
     removed = 0
-    for path in _iter_cache_entries(root):
+    for path in iter_cache_entries(root):
         try:
             if path.stat().st_mtime < cutoff:
                 path.unlink()
@@ -248,7 +255,7 @@ def clear_cache_root(root=None) -> int:
     """
     root = Path(root) if root is not None else default_cache_root()
     removed = 0
-    for path in _iter_cache_entries(root):
+    for path in iter_cache_entries(root):
         try:
             path.unlink()
             removed += 1

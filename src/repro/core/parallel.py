@@ -46,6 +46,8 @@ __all__ = [
     "chunk_spans",
     "score_edges",
     "parallel_map",
+    "terminate_pool",
+    "worker_context",
 ]
 
 DEFAULT_CHUNK_SIZE = 1024
@@ -121,6 +123,51 @@ def _score_span(span) -> np.ndarray:
     """Worker entry point: score one chunk of the active ranker."""
     start, stop = span
     return _ACTIVE_RANKER.score_batch(_ACTIVE_EDGE_IDS[start:stop])
+
+
+#: Modules the forkserver preloads so every service worker process
+#: forks with numpy/scipy/repro already imported (one import cost per
+#: daemon, not per worker or per respawn after a crash).
+FORKSERVER_PRELOAD = ("repro.service.executors", "repro.api")
+
+
+def worker_context(prefer: tuple = ("forkserver", "spawn")):
+    """A multiprocessing context safe to use from a *threaded* process.
+
+    The fork pools of :func:`score_edges` / :func:`parallel_map` refuse
+    to run under threads (forked children can inherit locks mid-flight
+    and deadlock), which rules ``fork`` out for the service scheduler —
+    its workers, HTTP handlers and signal plumbing are all threads.
+    ``forkserver`` sidesteps the hazard: children fork from a dedicated
+    single-threaded server process (started before it ever grows a
+    thread), and :data:`FORKSERVER_PRELOAD` keeps their startup cheap.
+    ``spawn`` is the portable fallback where no forkserver exists.
+
+    Parameters
+    ----------
+    prefer : tuple of str
+        Start methods to try, in order; the first one this platform
+        supports wins (the platform default as a last resort).
+
+    Returns
+    -------
+    multiprocessing.context.BaseContext
+        The chosen context.
+    """
+    import multiprocessing
+
+    available = multiprocessing.get_all_start_methods()
+    for name in prefer:
+        if name not in available:
+            continue
+        context = multiprocessing.get_context(name)
+        if name == "forkserver":
+            try:
+                context.set_forkserver_preload(list(FORKSERVER_PRELOAD))
+            except Exception:  # pragma: no cover - server already up
+                pass
+        return context
+    return multiprocessing.get_context()  # pragma: no cover - exotic
 
 
 def _fork_context():
@@ -230,7 +277,7 @@ def score_edges(ranker, edge_ids, workers: int = 1, chunk_size: int = 0):
     return np.concatenate(parts)
 
 
-def _terminate_pool(pool) -> None:
+def terminate_pool(pool) -> None:
     """Tear a running pool down *now*, leaving no orphaned children.
 
     Used on interrupt (SIGINT's ``KeyboardInterrupt``, a SIGTERM
@@ -260,7 +307,7 @@ def _pool_map(context, max_workers: int, fn, tasks) -> list:
     The shared execution step of :func:`score_edges` and
     :func:`parallel_map`.  ``OSError`` / ``BrokenProcessPool``
     propagate to the caller (whose serial fallback handles them);
-    interrupts terminate the children first (:func:`_terminate_pool`)
+    interrupts terminate the children first (:func:`terminate_pool`)
     and then re-raise.
     """
     from concurrent.futures import ProcessPoolExecutor
@@ -272,7 +319,7 @@ def _pool_map(context, max_workers: int, fn, tasks) -> list:
     try:
         results = list(pool.map(fn, tasks))
     except (KeyboardInterrupt, SystemExit):
-        _terminate_pool(pool)
+        terminate_pool(pool)
         raise
     except BaseException:
         pool.shutdown(wait=False, cancel_futures=True)

@@ -65,3 +65,32 @@ class ServiceUnavailableError(ServiceError):
     A distinct type so the HTTP layer can map it to 503 without
     sniffing message text.
     """
+
+
+class ServiceConnectionError(ServiceError):
+    """Raised when the daemon cannot be reached at the transport level.
+
+    Connection refused, DNS failure, a socket reset mid-request — the
+    daemon is *gone*, as opposed to reachable-but-unhappy (a non-2xx
+    response, which stays a plain :class:`ServiceError`).  A distinct
+    type so pollers like :meth:`ServiceClient.wait` can abort
+    immediately instead of backing off against a dead socket.
+    """
+
+
+class PayloadTooLargeError(ServiceError):
+    """Raised when a request body exceeds the daemon's size bound.
+
+    A distinct type so the HTTP layer can map it to 413 without
+    sniffing message text.
+    """
+
+
+class WorkerCrashError(ServiceError):
+    """Raised when an execution worker dies mid-job (killed, OOM, ...).
+
+    An *infrastructure* failure, not a failure of the job's own code:
+    the scheduler retries the job (up to its retry budget) on a fresh
+    worker before giving up, and promotes deduplicated followers of a
+    permanently-crashed primary instead of failing them alongside it.
+    """

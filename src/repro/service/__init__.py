@@ -7,16 +7,24 @@ trees, tree-phase criticalities, resistance sketches — amortize
 across clients and across restarts (through the shared persistent
 artifact cache of :mod:`repro.core.diskcache`).
 
-Three layers, each usable on its own:
+The layers, each usable on its own:
 
 * :class:`SparsifierService` (:mod:`repro.service.scheduler`) — the
   in-process core: a priority queue drained by bounded worker threads,
   per-graph-fingerprint request deduplication, per-graph warm
   :class:`~repro.api.SparsifierSession` reuse, graceful drain;
+* the execution backends (:mod:`repro.service.executors`) — *where*
+  a job's sparsification runs: inline on the scheduler's threads
+  (``executor="thread"``, the default) or in fingerprint-pinned
+  worker processes (``executor="process"``) that sidestep the GIL for
+  concurrent distinct-graph traffic;
 * :class:`ServiceDaemon` / :func:`serve` (:mod:`repro.service.http`) —
   a zero-dependency stdlib HTTP front end (``repro serve``);
 * :class:`ServiceClient` (:mod:`repro.service.client`) — the typed
-  client behind ``repro submit`` / ``repro jobs``.
+  client behind ``repro submit`` / ``repro jobs``;
+* fault injection (:mod:`repro.service.faults`) — armable
+  kill-worker / raise / delay faults and cache corruption, so the
+  recovery claims above stay tested against real failures.
 
 Quick start::
 
@@ -29,6 +37,8 @@ Quick start::
 """
 
 from repro.service.client import ServiceClient
+from repro.service.executors import EXECUTOR_NAMES
+from repro.service.faults import FaultInjector, InjectedFaultError
 from repro.service.http import ROUTES, ServiceDaemon, serve
 from repro.service.jobs import (
     JOB_STATUSES,
@@ -40,9 +50,12 @@ from repro.service.jobs import (
 from repro.service.scheduler import SparsifierService
 
 __all__ = [
+    "EXECUTOR_NAMES",
     "JOB_STATUSES",
     "Job",
     "JobSpec",
+    "FaultInjector",
+    "InjectedFaultError",
     "graph_source_key",
     "load_graph_source",
     "SparsifierService",

@@ -12,9 +12,13 @@
                         method="proposed", rounds=2)
     record = client.result(job["id"])        # polls until done
 
-Transport failures and non-2xx responses raise
-:class:`~repro.exceptions.ServiceError` with the server's error
-message attached.
+Non-2xx responses raise :class:`~repro.exceptions.ServiceError` with
+the server's error message attached; transport-level failures — the
+daemon is *gone*, not merely unhappy — raise the sharper
+:class:`~repro.exceptions.ServiceConnectionError`, which is why
+:meth:`ServiceClient.wait` can abort immediately when the daemon dies
+under a polling client instead of burning the rest of its timeout
+against a dead socket.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ import urllib.error
 import urllib.request
 from pathlib import Path
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ServiceConnectionError, ServiceError
 
 __all__ = ["ServiceClient"]
 
@@ -72,8 +76,15 @@ class ServiceClient:
                 f"{method} {path} failed ({exc.code}): {detail}"
             ) from None
         except urllib.error.URLError as exc:
-            raise ServiceError(
+            raise ServiceConnectionError(
                 f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+        except (ConnectionError, TimeoutError) as exc:
+            # A reset/aborted socket mid-response bypasses urllib's
+            # URLError wrapping; it is the same "daemon went away".
+            raise ServiceConnectionError(
+                f"connection to service at {self.url} was interrupted: "
+                f"{exc}"
             ) from None
 
     # ------------------------------------------------------------------
@@ -147,9 +158,25 @@ class ServiceClient:
         """``GET /jobs/<id>`` — one job's current state."""
         return self._request("GET", f"/jobs/{job_id}")
 
-    def jobs(self) -> list:
-        """``GET /jobs`` — every job the daemon has seen."""
-        return self._request("GET", "/jobs")["jobs"]
+    def jobs(self, *, status: str | None = None,
+             limit: int | None = None) -> list:
+        """``GET /jobs`` — every job the daemon has seen.
+
+        ``status=`` narrows to one lifecycle state, ``limit=`` to the
+        most recent *n* jobs; bad values are rejected by the daemon
+        with a 400.
+        """
+        from urllib.parse import urlencode
+
+        params = {}
+        if status is not None:
+            params["status"] = status
+        if limit is not None:
+            params["limit"] = limit
+        path = "/jobs"
+        if params:
+            path += "?" + urlencode(params)
+        return self._request("GET", path)["jobs"]
 
     def wait(self, job_id: str, *, timeout: float = 600.0,
              poll_seconds: float = 0.05) -> dict:
@@ -159,11 +186,23 @@ class ServiceClient:
         and doubling up to a 2 s cap — so short jobs return promptly
         while a minutes-long job costs the daemon a handful of status
         requests, not twenty per second.
+
+        A job that is merely still queued keeps the poll alive; a
+        daemon that *went away* (connection refused / reset mid-poll)
+        raises :class:`~repro.exceptions.ServiceConnectionError`
+        immediately — waiting out the timeout against a dead socket
+        would just delay the bad news.
         """
         deadline = time.time() + timeout
         delay = poll_seconds
         while True:
-            job = self.job(job_id)
+            try:
+                job = self.job(job_id)
+            except ServiceConnectionError as exc:
+                raise ServiceConnectionError(
+                    f"daemon went away while waiting for {job_id}: "
+                    f"{exc}"
+                ) from None
             if job["status"] in ("done", "failed", "cancelled"):
                 return job
             remaining = deadline - time.time()

@@ -1,0 +1,395 @@
+"""Pluggable execution backends for the sparsification scheduler.
+
+The scheduler (:class:`~repro.service.scheduler.SparsifierService`)
+owns the queue, dedup and lifecycle; *where a job's sparsification
+actually runs* is this module's concern, behind one tiny interface
+(``start`` / ``run`` / ``close``):
+
+* :class:`ThreadJobExecutor` — the job runs on the scheduler's own
+  worker thread, on the shared in-process per-graph session (the
+  original PR 5 behavior; zero serialization cost, but every
+  pure-python stage of concurrent jobs contends for one GIL);
+* :class:`ProcessJobExecutor` — the job runs in a dedicated worker
+  *process*.  Jobs are pinned to workers by graph fingerprint (each
+  worker keeps warm :class:`~repro.api.SparsifierSession` objects for
+  the graphs routed to it), the content-addressed disk cache is the
+  shared artifact plane across all workers, and the process boundary
+  carries exactly what already crosses the HTTP wire: a
+  :class:`~repro.service.jobs.JobSpec` dict in, a RunRecord dict out.
+  Concurrent distinct-graph traffic therefore scales with cores
+  instead of serializing on the GIL.
+
+Both backends produce byte-identical RunRecord fingerprints — the
+executor-parity suite (``tests/service/test_executor_parity.py``)
+pins thread == process == direct :func:`repro.sparsify`.
+
+Worker processes come from :func:`repro.core.parallel.worker_context`
+(forkserver preferred: safe under the scheduler's threads, cheap to
+respawn after a crash).  A worker killed mid-job — ``SIGKILL``, the
+OOM killer, a segfault — surfaces as
+:class:`~repro.exceptions.WorkerCrashError`; the executor rebuilds the
+broken pool immediately so the *next* attempt (the scheduler retries)
+lands on a fresh worker, and the daemon keeps serving.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections import OrderedDict
+
+from repro.exceptions import ServiceError, WorkerCrashError
+from repro.service import faults
+from repro.service.jobs import JobSpec, graph_source_key, load_graph_source
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "ProcessJobExecutor",
+    "ThreadJobExecutor",
+    "make_executor",
+    "run_spec_on_session",
+]
+
+#: Registered execution backends (the ``--executor`` CLI choices).
+EXECUTOR_NAMES = ("thread", "process")
+
+#: Disk-cache counters a process worker reports back per job, so the
+#: parent's ``/stats`` aggregation stays meaningful when the sessions
+#: live in child processes.
+_CACHE_COUNTERS = ("hits", "misses", "stores", "evictions", "errors")
+
+
+def _sanitize_main_module() -> None:
+    """Drop a pseudo-path ``__main__.__file__`` before spawning workers.
+
+    Scripts fed on stdin (``python -``, heredocs, executable doc
+    snippets) advertise ``__file__ = '<stdin>'``; forkserver/spawn
+    children would then try to re-import that non-file and die at
+    bootstrap.  Workers only ever touch importable ``repro`` modules,
+    so when the main module's file does not exist on disk the attribute
+    is deleted, which makes multiprocessing skip re-importing main.
+    """
+    main = sys.modules.get("__main__")
+    path = getattr(main, "__file__", None)
+    if path is not None and not os.path.exists(path):
+        del main.__file__
+
+
+def run_spec_on_session(session, spec: JobSpec, label: str) -> dict:
+    """Execute one job spec on a (warm) session; return the record dict.
+
+    The single execution path both backends share — and the reason
+    their RunRecords cannot drift apart: sparsify via the session
+    (artifact reuse included), optionally evaluate quality, stamp a
+    :class:`~repro.api.records.RunRecord`.
+    """
+    from repro.api import RunRecord
+    from repro.core.metrics import evaluate_sparsifier
+    from repro.utils.timers import Timer
+
+    result = session.sparsify(spec.method, **spec.options)
+    quality = None
+    evaluate_seconds = None
+    if spec.evaluate:
+        timer = Timer()
+        with timer:
+            quality = evaluate_sparsifier(
+                session.graph, result.sparsifier, seed=result.config.seed,
+            )
+        evaluate_seconds = timer.elapsed
+    record = RunRecord.from_result(
+        result, method=spec.method, label=label,
+        quality=quality, evaluate_seconds=evaluate_seconds,
+    )
+    return record.to_dict()
+
+
+class ThreadJobExecutor:
+    """Run jobs inline on the scheduler's worker threads.
+
+    The default-compatible backend: delegates to the scheduler's
+    shared per-graph session memo (one
+    :class:`~repro.api.SparsifierSession` per graph fingerprint,
+    LRU-bounded, jobs on one graph serialized on its lock).  Fault
+    hooks fire in-process; the kill-worker fault is *not* installed
+    here — killing the thread's process would kill the daemon.
+    """
+
+    name = "thread"
+
+    def __init__(self, service) -> None:
+        self._service = service
+
+    def start(self) -> None:
+        """No worker processes to boot; idempotent no-op."""
+
+    def run(self, job):
+        """Execute one job; return ``(record_dict, cache_delta)``.
+
+        The cache delta is ``None``: thread-mode sessions are owned by
+        the scheduler, whose ``stats()`` reads their disk counters
+        directly.
+        """
+        faults.maybe_raise("worker", self._service.faults_dir)
+        faults.maybe_delay("worker", self._service.faults_dir)
+        return self._service._execute(job), None
+
+    def close(self, timeout: float | None = None) -> None:
+        """Nothing to tear down; idempotent no-op."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ThreadJobExecutor()"
+
+
+class ProcessJobExecutor:
+    """Run jobs on fingerprint-pinned single-worker process pools.
+
+    ``workers`` pools of one process each, with a job routed to pool
+    ``int(fingerprint, 16) % workers`` — so all jobs on one graph land
+    on one worker process, whose in-memory session memo stays warm
+    across them (and same-graph jobs serialize naturally on their
+    worker, mirroring the thread backend's per-session lock).  Every
+    worker shares the same persistent disk-cache root, so a graph
+    whose pinned worker died — or that hashes to a different worker
+    after a restart — restores artifacts instead of re-deriving them,
+    fingerprint-identically.
+
+    Parameters
+    ----------
+    workers : int
+        Number of worker processes (= pools).
+    persistent : bool
+        Attach the shared disk cache to every worker-side session.
+    cache_dir : str or pathlib.Path or None
+        Disk-cache root; resolved by the *parent* (environment
+        variables are frozen in forkserver children, so the resolved
+        path travels explicitly).
+    max_sessions : int
+        Per-worker session/graph memo bound (LRU).
+    faults_dir : str or None
+        Fault-token directory workers poll at their hook points.
+    mp_context : multiprocessing context, optional
+        Override the start method (tests); default
+        :func:`repro.core.parallel.worker_context`.
+    """
+
+    name = "process"
+
+    def __init__(self, *, workers: int, persistent: bool, cache_dir,
+                 max_sessions: int, faults_dir=None,
+                 mp_context=None) -> None:
+        if workers < 1:
+            raise ServiceError(
+                f"process executor needs workers >= 1, got {workers}"
+            )
+        if mp_context is None:
+            from repro.core.parallel import worker_context
+
+            mp_context = worker_context()
+        _sanitize_main_module()
+        self._context = mp_context
+        self._initargs = (
+            bool(persistent),
+            str(cache_dir) if cache_dir is not None else None,
+            int(max_sessions),
+            str(faults_dir) if faults_dir is not None else None,
+        )
+        self._pools: list = [None] * int(workers)
+        self._locks = [threading.Lock() for _ in range(int(workers))]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot every worker pool (idempotent)."""
+        for index in range(len(self._pools)):
+            self._pool(index)
+
+    def _new_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=1, mp_context=self._context,
+            initializer=_init_worker, initargs=self._initargs,
+        )
+
+    def _pool(self, index: int):
+        with self._locks[index]:
+            if self._closed:
+                raise ServiceError("process executor already closed")
+            if self._pools[index] is None:
+                self._pools[index] = self._new_pool()
+            return self._pools[index]
+
+    def _rebuild(self, index: int, broken) -> None:
+        """Replace a broken pool so the next attempt gets a fresh
+        worker; concurrent crash observers rebuild exactly once."""
+        with self._locks[index]:
+            if self._pools[index] is broken:
+                broken.shutdown(wait=False, cancel_futures=True)
+                self._pools[index] = None if self._closed \
+                    else self._new_pool()
+
+    def route(self, fingerprint: str) -> int:
+        """The pool index a graph fingerprint is pinned to."""
+        return int(fingerprint[:16], 16) % len(self._pools)
+
+    def run(self, job):
+        """Execute one job in its pinned worker process.
+
+        Returns ``(record_dict, cache_delta)`` where the delta holds
+        the worker-side session's disk-cache counter increments for
+        this job (the parent folds them into ``/stats``).
+
+        Raises
+        ------
+        repro.exceptions.WorkerCrashError
+            When the worker process died mid-job; the pool has already
+            been rebuilt when this propagates, so a retry runs on a
+            fresh worker.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        index = self.route(job._fingerprint)
+        payload = {
+            "spec": job.spec.to_dict(),
+            "label": job._resolved_label,
+            "seed": job._seed,
+            "fingerprint": job._fingerprint,
+        }
+        pool = self._pool(index)
+        try:
+            future = pool.submit(_run_payload, payload)
+            outcome = future.result()
+        except BrokenProcessPool as exc:
+            self._rebuild(index, pool)
+            raise WorkerCrashError(
+                f"worker process for {job.id} died mid-job "
+                f"(pool {index}): {exc}"
+            ) from exc
+        return outcome["record"], outcome["cache"]
+
+    def close(self, timeout: float | None = None) -> None:
+        """Shut every pool down, reaping the worker processes.
+
+        Called after the scheduler's threads have drained, so the
+        pools are idle; still terminates (rather than waits on) the
+        workers so a wedged child cannot stall daemon shutdown.
+        """
+        from repro.core.parallel import terminate_pool
+
+        self._closed = True
+        for index, lock in enumerate(self._locks):
+            with lock:
+                pool = self._pools[index]
+                self._pools[index] = None
+            if pool is not None:
+                terminate_pool(pool)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessJobExecutor(workers={len(self._pools)})"
+
+
+def make_executor(name: str, service):
+    """Build the execution backend *name* for a scheduler instance."""
+    if name == "thread":
+        return ThreadJobExecutor(service)
+    if name == "process":
+        return ProcessJobExecutor(
+            workers=service.workers,
+            persistent=service.persistent,
+            cache_dir=service.resolved_cache_dir,
+            max_sessions=service.max_sessions,
+            faults_dir=service.faults_dir,
+        )
+    raise ServiceError(
+        f"unknown executor {name!r}; choose from "
+        f"{', '.join(EXECUTOR_NAMES)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  Everything below runs inside a pool worker:
+# module-level state is per-process, initialized once by _init_worker
+# and reused across every job pinned to this worker.
+# ----------------------------------------------------------------------
+
+_WORKER_CONFIG: dict = {}
+_WORKER_GRAPHS: "OrderedDict" = OrderedDict()    # (source, seed) -> graph
+_WORKER_SESSIONS: "OrderedDict" = OrderedDict()  # fingerprint -> session
+
+
+def _init_worker(persistent, cache_dir, max_sessions, faults_dir) -> None:
+    """Pool-worker initializer: record the executor's resolved config."""
+    _WORKER_CONFIG.update(
+        persistent=persistent, cache_dir=cache_dir,
+        max_sessions=max_sessions, faults_dir=faults_dir,
+    )
+    _WORKER_GRAPHS.clear()
+    _WORKER_SESSIONS.clear()
+
+
+def _worker_graph(spec: JobSpec, seed: int):
+    """Load (or reuse) the graph a job targets, LRU-memoized."""
+    key = (graph_source_key(spec.graph), seed)
+    cached = _WORKER_GRAPHS.get(key)
+    if cached is not None:
+        _WORKER_GRAPHS.move_to_end(key)
+        return cached
+    graph, _ = load_graph_source(spec.graph, seed=seed)
+    _WORKER_GRAPHS[key] = graph
+    while len(_WORKER_GRAPHS) > _WORKER_CONFIG["max_sessions"]:
+        _WORKER_GRAPHS.popitem(last=False)
+    return graph
+
+
+def _worker_session(graph, fingerprint: str, label: str):
+    """The per-process warm session for a fingerprint, LRU-memoized."""
+    from repro.api import SparsifierSession
+
+    session = _WORKER_SESSIONS.get(fingerprint)
+    if session is not None:
+        _WORKER_SESSIONS.move_to_end(fingerprint)
+        return session
+    session = SparsifierSession(
+        graph, label=label,
+        persistent=_WORKER_CONFIG["persistent"],
+        cache_dir=_WORKER_CONFIG["cache_dir"],
+    )
+    _WORKER_SESSIONS[fingerprint] = session
+    while len(_WORKER_SESSIONS) > _WORKER_CONFIG["max_sessions"]:
+        _WORKER_SESSIONS.popitem(last=False)
+    return session
+
+
+def _disk_totals(session) -> dict:
+    """Per-counter sums of a session's disk-cache stats (zeros when
+    the session is memory-only)."""
+    disk = session.stats().get("disk")
+    if not disk:
+        return {name: 0 for name in _CACHE_COUNTERS}
+    return {
+        name: sum(disk[name].values()) for name in _CACHE_COUNTERS
+    }
+
+
+def _run_payload(payload: dict) -> dict:
+    """Worker entry point: run one serialized job spec end to end."""
+    faults_dir = _WORKER_CONFIG.get("faults_dir")
+    faults.maybe_kill_worker(faults_dir)
+    faults.maybe_raise("worker", faults_dir)
+    faults.maybe_delay("worker", faults_dir)
+    spec = JobSpec.from_dict(payload["spec"])
+    graph = _worker_graph(spec, int(payload["seed"]))
+    session = _worker_session(
+        graph, payload["fingerprint"], payload["label"]
+    )
+    before = _disk_totals(session)
+    record = run_spec_on_session(session, spec, payload["label"])
+    after = _disk_totals(session)
+    return {
+        "record": record,
+        "cache": {
+            name: after[name] - before[name] for name in _CACHE_COUNTERS
+        },
+    }

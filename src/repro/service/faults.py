@@ -1,0 +1,237 @@
+"""Fault injection for the sparsification service.
+
+Production claims ("a killed worker never wedges the queue") are only
+believable when the failure is actually exercised, so this module
+gives the scheduler, the execution backends and the load-test harness
+one shared way to *arm* faults and have them fire at well-defined hook
+points:
+
+* **kill-worker** — the executing worker process ``SIGKILL``\\ s itself
+  at the start of a job (process executor only; the scheduler sees a
+  :class:`~repro.exceptions.WorkerCrashError` and retries or fails the
+  job cleanly);
+* **raise-<stage>** — the hook raises :class:`InjectedFaultError`
+  (works under both executors, modelling a job whose run blows up);
+* **delay-<stage>** — the hook sleeps for the armed number of seconds
+  (scheduler-delay injection for latency/timeout testing).
+
+Faults are **token files** in a directory (one file per armed shot),
+so they cross the process boundary for free: the parent arms a token,
+any worker process — including one respawned after a crash — consumes
+it with an atomic rename, and a consumed token never fires twice.
+That single property is what makes "kill the worker once, then let
+the retry succeed" expressible at all.
+
+The directory is named explicitly (``SparsifierService(faults_dir=…)``)
+or through the ``REPRO_SERVICE_FAULTS_DIR`` environment variable; when
+neither is set every hook is a no-op costing one ``None`` check, so
+production traffic never pays for the machinery.
+
+Cache corruption — the third fault class the service must survive —
+needs no token: :func:`corrupt_cache_entries` clobbers on-disk
+artifact entries directly, and the disk cache's evict-and-rebuild
+contract (:class:`~repro.core.diskcache.DiskCache`) is what the tests
+then assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "FAULTS_DIR_ENV",
+    "FaultInjector",
+    "InjectedFaultError",
+    "corrupt_cache_entries",
+    "maybe_delay",
+    "maybe_kill_worker",
+    "maybe_raise",
+    "resolve_faults_dir",
+]
+
+#: Environment variable naming the shared fault-token directory.
+FAULTS_DIR_ENV = "REPRO_SERVICE_FAULTS_DIR"
+
+
+class InjectedFaultError(ReproError):
+    """Raised by a ``raise-<stage>`` fault token at its hook point.
+
+    A distinct type so tests (and operators reading a job's ``error``
+    field) can tell an injected failure from a genuine one.
+    """
+
+
+class FaultInjector:
+    """Arm and consume fault tokens in a shared directory.
+
+    Each armed fault is one small JSON file named
+    ``<kind>-<nanotime>-<pid>.fault``; consuming claims the file with
+    an atomic ``os.rename`` before reading it, so exactly one consumer
+    fires per token even when several worker processes race on the
+    same directory.
+
+    Parameters
+    ----------
+    root : str or pathlib.Path
+        Token directory; created on first :meth:`arm`.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> injector = FaultInjector(tempfile.mkdtemp())
+    >>> injector.arm("kill-worker")
+    >>> injector.armed("kill-worker")
+    1
+    >>> injector.consume("kill-worker")
+    (True, None)
+    >>> injector.consume("kill-worker")
+    (False, None)
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def arm(self, kind: str, *, count: int = 1, value=None) -> None:
+        """Write *count* tokens of *kind*, each carrying *value*.
+
+        ``value`` must be JSON-serializable (delay tokens carry their
+        sleep seconds; kill/raise tokens carry ``None``).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        for _ in range(count):
+            name = f"{kind}-{time.time_ns()}-{os.getpid()}.fault"
+            tmp = self.root / (name + ".tmp")
+            tmp.write_text(json.dumps(value))
+            os.replace(tmp, self.root / name)
+
+    def consume(self, kind: str):
+        """Claim one token of *kind*; return ``(fired, value)``.
+
+        The oldest token wins; a losing racer simply moves on to the
+        next token (or reports ``(False, None)`` when none are left).
+        """
+        if not self.root.is_dir():
+            return False, None
+        for token in sorted(self.root.glob(f"{kind}-*.fault")):
+            claimed = token.with_suffix(f".claimed-{os.getpid()}")
+            try:
+                os.rename(token, claimed)
+            except OSError:          # another consumer won this token
+                continue
+            try:
+                value = json.loads(claimed.read_text())
+            finally:
+                claimed.unlink(missing_ok=True)
+            return True, value
+        return False, None
+
+    def armed(self, kind: str) -> int:
+        """How many unconsumed tokens of *kind* are waiting."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob(f"{kind}-*.fault"))
+
+    def clear(self) -> int:
+        """Drop every unconsumed token; return how many were dropped."""
+        removed = 0
+        if self.root.is_dir():
+            for token in self.root.glob("*.fault"):
+                try:
+                    token.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - racing consumer
+                    pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultInjector(root={str(self.root)!r})"
+
+
+def resolve_faults_dir(faults_dir=None):
+    """The effective fault directory: explicit arg, else env, else None.
+
+    Resolved in the *parent* process and passed explicitly to worker
+    processes, so spawned/forkserver children (whose environment was
+    frozen at an earlier time) still honor per-test directories.
+    """
+    if faults_dir is not None:
+        return str(faults_dir)
+    return os.environ.get(FAULTS_DIR_ENV) or None
+
+
+def _consume(kind: str, faults_dir):
+    if faults_dir is None:
+        return False, None
+    return FaultInjector(faults_dir).consume(kind)
+
+
+def maybe_kill_worker(faults_dir=None) -> None:
+    """Hook: ``SIGKILL`` the calling process if a token is armed.
+
+    The token is consumed *before* the kill, so the respawned worker
+    that retries the job finds the directory empty and proceeds —
+    "crash once, recover on retry" in one arm() call.  Only the
+    process executor installs this hook; in-thread execution would
+    take the whole daemon down with it.
+    """
+    import signal
+
+    fired, _ = _consume("kill-worker", faults_dir)
+    if fired:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def maybe_raise(stage: str, faults_dir=None) -> None:
+    """Hook: raise :class:`InjectedFaultError` if a token is armed.
+
+    The token kind is ``raise-<stage>`` (e.g. ``raise-worker``), so a
+    test can target one hook point without tripping the others.
+    """
+    fired, _ = _consume(f"raise-{stage}", faults_dir)
+    if fired:
+        raise InjectedFaultError(
+            f"injected fault: forced failure at stage {stage!r}"
+        )
+
+
+def maybe_delay(stage: str, faults_dir=None) -> float:
+    """Hook: sleep for an armed ``delay-<stage>`` token's seconds.
+
+    Returns the injected delay (0.0 when nothing was armed), so call
+    sites can account for it in their own timings.
+    """
+    fired, value = _consume(f"delay-{stage}", faults_dir)
+    if not fired:
+        return 0.0
+    seconds = float(value or 0.0)
+    if seconds > 0:
+        time.sleep(seconds)
+    return seconds
+
+
+def corrupt_cache_entries(cache_root, count: int = 1) -> list:
+    """Overwrite up to *count* disk-cache entries with garbage bytes.
+
+    Returns the paths corrupted (oldest-path-first, deterministically).
+    The disk cache treats an unpicklable entry as a miss, evicts it and
+    rebuilds — :func:`~repro.core.diskcache.DiskCache.load` — so a
+    service job hitting a corrupted artifact must still complete; the
+    fault suite arms this and asserts exactly that.
+    """
+    from repro.core.diskcache import iter_cache_entries
+
+    corrupted = []
+    for path in iter_cache_entries(Path(cache_root)):
+        if len(corrupted) >= count:
+            break
+        try:
+            path.write_bytes(b"\x00corrupted-by-fault-injection")
+        except OSError:  # pragma: no cover - racing eviction
+            continue
+        corrupted.append(str(path))
+    return corrupted

@@ -17,11 +17,20 @@ Endpoints (also rendered into ``docs/api-reference.md``):
     (``201``); identical in-flight submissions are deduplicated and
     carry ``dedup_of``.
 ``GET /jobs`` / ``GET /jobs/<id>`` / ``GET /jobs/<id>/result``
-    List jobs, poll one job, fetch a finished job's RunRecord JSON.
+    List jobs (``?status=<state>&limit=<n>`` filter to one lifecycle
+    state / the most recent *n*; anything else is a ``400``), poll one
+    job, fetch a finished job's RunRecord JSON.
 ``DELETE /jobs/<id>``
     Cancel a queued job (``409`` when it is already running/finished).
 ``GET /healthz`` and ``GET /stats``
     Liveness probe and queue/dedup/cache counters.
+
+Every error is a JSON body ``{"error": ...}`` with a deliberate status:
+``400`` malformed request, ``404`` unknown endpoint or job id, ``405``
+unsupported verb (with an ``Allow`` header), ``409`` invalid lifecycle
+transition, ``413`` request body over the daemon's ``max_body_bytes``
+bound, ``503`` shutting down.  The error-path matrix in
+``tests/service/test_service_http.py`` pins each row.
 """
 
 from __future__ import annotations
@@ -31,14 +40,17 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from urllib.parse import parse_qs, urlsplit
+
 from repro.exceptions import (
+    PayloadTooLargeError,
     ReproError,
     ServiceError,
     ServiceUnavailableError,
     UnknownMethodError,
     UnknownOptionError,
 )
-from repro.service.jobs import JobSpec
+from repro.service.jobs import JOB_STATUSES, JobSpec
 from repro.service.scheduler import SparsifierService
 
 __all__ = ["ROUTES", "ServiceDaemon", "serve"]
@@ -49,15 +61,18 @@ ROUTES = (
     ("POST", "/jobs",
      "submit a job (graph source + method/options); deduplicates "
      "against identical in-flight requests"),
-    ("GET", "/jobs", "list every job (records elided)"),
+    ("GET", "/jobs",
+     "list every job (records elided); ?status=<state>&limit=<n> "
+     "narrows to one lifecycle state / the most recent n"),
     ("GET", "/jobs/<id>", "poll one job's status"),
     ("GET", "/jobs/<id>/result",
      "the finished job's RunRecord JSON (409 until it is done)"),
     ("DELETE", "/jobs/<id>", "cancel a queued job (409 otherwise)"),
-    ("GET", "/healthz", "liveness probe (status/version/uptime)"),
+    ("GET", "/healthz",
+     "liveness probe (status/version/uptime/workers/executor)"),
     ("GET", "/stats",
-     "queue depth, per-status job counts, dedup hits, session and "
-     "disk-cache counters"),
+     "queue depth, per-status job counts, dedup hits, worker "
+     "restarts, session and disk-cache counters"),
 )
 
 
@@ -76,19 +91,35 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server.daemon, "verbose", False):
             super().log_message(format, *args)
 
-    def _send_json(self, payload, status: int = 200) -> None:
+    def _send_json(self, payload, status: int = 200,
+                   headers: dict | None = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+    def _error(self, status: int, message: str,
+               headers: dict | None = None) -> None:
+        self._send_json({"error": message}, status=status,
+                        headers=headers)
 
     def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ServiceError(
+                "Content-Length header must be an integer"
+            ) from None
+        limit = self.server.daemon.max_body_bytes
+        if length > limit:
+            raise PayloadTooLargeError(
+                f"request body is {length} bytes; this daemon accepts "
+                f"at most {limit} (raise max_body_bytes to change)"
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             raise ServiceError("request body must be a JSON object")
@@ -100,9 +131,40 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError("request body must be a JSON object")
         return payload
 
+    def _list_query(self, query: str):
+        """Parse ``GET /jobs`` query params; raise for unknown/bad
+        ones (mapped to 400 — a typo'd filter must not silently
+        return the unfiltered listing)."""
+        params = parse_qs(query, keep_blank_values=True)
+        unknown = sorted(set(params) - {"status", "limit"})
+        if unknown:
+            raise ServiceError(
+                f"unknown query parameter(s) "
+                f"{', '.join(map(repr, unknown))}; valid: limit, status"
+            )
+        status = params["status"][-1] if "status" in params else None
+        if status is not None and status not in JOB_STATUSES:
+            raise ServiceError(
+                f"unknown status filter {status!r}; valid: "
+                f"{', '.join(JOB_STATUSES)}"
+            )
+        limit = None
+        if "limit" in params:
+            raw = params["limit"][-1]
+            try:
+                limit = int(raw)
+            except ValueError:
+                raise ServiceError(
+                    f"limit must be an integer, got {raw!r}"
+                ) from None
+            if limit < 1:
+                raise ServiceError(f"limit must be >= 1, got {limit}")
+        return status, limit
+
     # -- verbs ---------------------------------------------------------
     def do_GET(self) -> None:
-        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
         if parts == ["healthz"]:
             daemon = self.server.daemon
             self._send_json({
@@ -110,15 +172,26 @@ class _Handler(BaseHTTPRequestHandler):
                 "version": _package_version(),
                 "uptime_seconds": time.time() - daemon.started_at,
                 "workers": self.service.workers,
+                "executor": self.service.executor,
                 "accepting": self.service.accepting,
             })
         elif parts == ["stats"]:
             self._send_json(self.service.stats())
         elif parts == ["jobs"]:
+            try:
+                status, limit = self._list_query(split.query)
+            except ServiceError as exc:
+                self._error(400, str(exc))
+                return
+            jobs = self.service.jobs()
+            if status is not None:
+                jobs = [job for job in jobs if job.status == status]
+            if limit is not None:
+                jobs = jobs[-limit:]
             self._send_json({
                 "jobs": [job.to_dict(include_record=False,
                                      redact_upload=True)
-                         for job in self.service.jobs()]
+                         for job in jobs]
             })
         elif len(parts) == 2 and parts[0] == "jobs":
             self._with_job(parts[1], lambda job: self._send_json(
@@ -143,6 +216,8 @@ class _Handler(BaseHTTPRequestHandler):
             )
         except ServiceUnavailableError as exc:
             self._error(503, str(exc))
+        except PayloadTooLargeError as exc:
+            self._error(413, str(exc))
         except (ServiceError, UnknownMethodError, UnknownOptionError,
                 TypeError, ValueError) as exc:
             self._error(400, str(exc))
@@ -150,6 +225,25 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"{type(exc).__name__}: {exc}")
         else:
             self._send_json(job.to_dict(redact_upload=True), status=201)
+
+    def do_PUT(self) -> None:
+        self._method_not_allowed("PUT")
+
+    def do_PATCH(self) -> None:
+        self._method_not_allowed("PATCH")
+
+    def _method_not_allowed(self, verb: str) -> None:
+        """A *known path* reached with an unsupported verb is a 405
+        (with the ``Allow`` header RFC 9110 requires), still as a JSON
+        body — no client of this service should ever have to parse
+        HTML error pages."""
+        allowed = sorted({route_verb for route_verb, _, _ in ROUTES})
+        self._error(
+            405,
+            f"method {verb} is not supported; allowed methods: "
+            f"{', '.join(allowed)}",
+            headers={"Allow": ", ".join(allowed)},
+        )
 
     def do_DELETE(self) -> None:
         parts = [p for p in self.path.split("?")[0].split("/") if p]
@@ -204,12 +298,17 @@ class ServiceDaemon:
     service : SparsifierService, optional
         The scheduler to expose; one is constructed from
         ``**service_options`` (``workers``, ``cache_dir``,
-        ``persistent``, ``max_sessions``, ``start``) when omitted.
+        ``persistent``, ``max_sessions``, ``executor``, ``retries``,
+        ``faults_dir``, ``start``) when omitted.
     host / port :
         Bind address.  ``port=0`` (the default) picks an ephemeral
         port — read it back from :attr:`port` / :attr:`url`.
     verbose : bool
         Log one line per HTTP request to stderr.
+    max_body_bytes : int
+        Largest request body accepted (default 16 MiB); a bigger
+        ``Content-Length`` — a runaway inline MTX upload — is refused
+        with a 413 before the body is read.
 
     Examples
     --------
@@ -225,11 +324,16 @@ class ServiceDaemon:
 
     def __init__(self, service: SparsifierService | None = None, *,
                  host: str = "127.0.0.1", port: int = 0,
-                 verbose: bool = False, **service_options) -> None:
+                 verbose: bool = False,
+                 max_body_bytes: int = 16 * 1024 * 1024,
+                 **service_options) -> None:
         if service is not None and service_options:
             raise ServiceError(
                 "pass either a ready service or service options, not both"
             )
+        self.max_body_bytes = int(max_body_bytes)
+        if self.max_body_bytes < 1:
+            raise ServiceError("max_body_bytes must be >= 1")
         self.service = service or SparsifierService(**service_options)
         self.verbose = verbose
         self.started_at = time.time()
@@ -296,6 +400,7 @@ class ServiceDaemon:
 def serve(*, host: str = "127.0.0.1", port: int = 8734,
           workers: int = 2, persistent: bool = True, cache_dir=None,
           max_sessions: int = 8, max_jobs: int = 1000,
+          executor: str = "thread", retries: int = 1,
           verbose: bool = False,
           install_signal_handlers: bool = True,
           announce=print) -> int:
@@ -306,13 +411,17 @@ def serve(*, host: str = "127.0.0.1", port: int = 8734,
     waits.  The first SIGINT/SIGTERM drains gracefully (queued jobs
     finish); a second signal cancels the remaining queue and exits as
     soon as running jobs complete.  Returns the process exit code.
+    ``executor="process"`` runs jobs in fingerprint-pinned worker
+    processes (see :mod:`repro.service.executors`); ``retries`` bounds
+    how often a crashed worker's job is re-run.
     """
     import signal
 
     daemon = ServiceDaemon(
         host=host, port=port, workers=workers, persistent=persistent,
         cache_dir=cache_dir, max_sessions=max_sessions,
-        max_jobs=max_jobs, verbose=verbose,
+        max_jobs=max_jobs, executor=executor, retries=retries,
+        verbose=verbose,
     )
     stop = threading.Event()
     signals_seen = []
@@ -328,7 +437,8 @@ def serve(*, host: str = "127.0.0.1", port: int = 8734,
         signal.signal(signal.SIGTERM, _request_stop)
     daemon.start()
     announce(f"repro service listening on {daemon.url} "
-             f"({daemon.service.workers} workers, cache "
+             f"({daemon.service.workers} {daemon.service.executor} "
+             f"workers, cache "
              f"{'on' if daemon.service.persistent else 'off'})",
              flush=True)
     stop.wait()

@@ -265,6 +265,9 @@ class Job:
         Id of the in-flight primary job this request was coalesced
         onto, when the scheduler deduplicated it; the follower shares
         the primary's computation and record.
+    attempts:
+        Execution attempts made (0 until the job first runs; > 1 only
+        when a worker-process crash forced a retry).
     """
 
     id: str
@@ -276,6 +279,7 @@ class Job:
     error: str | None = None
     record: dict | None = None
     dedup_of: str | None = None
+    attempts: int = 0
 
     @property
     def finished(self) -> bool:
@@ -302,6 +306,7 @@ class Job:
             "finished_at": self.finished_at,
             "error": self.error,
             "dedup_of": self.dedup_of,
+            "attempts": self.attempts,
         }
         if include_record:
             data["record"] = self.record
@@ -328,6 +333,7 @@ class Job:
             error=data.get("error"),
             record=data.get("record"),
             dedup_of=data.get("dedup_of"),
+            attempts=int(data.get("attempts", 0)),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -31,6 +31,18 @@ per CPU); jobs with ``shards > 1`` route through
 :func:`repro.sparsify` call.  Jobs touching the *same* graph are
 serialized on a per-session lock (they contend for the same artifacts
 anyway), while jobs on different graphs run concurrently.
+
+*Where* a job's sparsification runs is delegated to a pluggable
+execution backend (:mod:`repro.service.executors`): ``executor=
+"thread"`` runs it inline on the scheduler's worker threads (the
+default), ``executor="process"`` ships the serialized spec to a
+fingerprint-pinned worker *process* so concurrent distinct-graph jobs
+escape the GIL.  The scheduler's contract — dedup, priority order,
+cancellation/promotion, drain — is backend-independent, and a worker
+process that dies mid-job (:class:`~repro.exceptions.WorkerCrashError`)
+is retried up to ``retries`` times on a fresh worker before the job
+fails; deduplicated followers of a permanently-crashed primary are
+promoted to run for themselves rather than inheriting the crash.
 """
 
 from __future__ import annotations
@@ -42,7 +54,13 @@ import time
 from collections import Counter, OrderedDict
 
 from repro.core.parallel import resolve_workers
-from repro.exceptions import ServiceError, ServiceUnavailableError
+from repro.exceptions import (
+    ServiceError,
+    ServiceUnavailableError,
+    WorkerCrashError,
+)
+from repro.service import faults
+from repro.service.executors import make_executor, run_spec_on_session
 from repro.service.jobs import Job, JobSpec, graph_source_key, load_graph_source
 
 __all__ = ["SparsifierService"]
@@ -85,6 +103,24 @@ class SparsifierService:
         a long-lived daemon must not accumulate every record (and
         every inline MTX upload) it ever served.  Queued/running jobs
         are never dropped.
+    executor : str
+        Execution backend: ``"thread"`` (default) runs jobs inline on
+        the worker threads; ``"process"`` runs each job in a
+        fingerprint-pinned worker process
+        (:class:`~repro.service.executors.ProcessJobExecutor`), so
+        concurrent jobs on distinct graphs scale with cores instead
+        of serializing on the GIL.  RunRecord fingerprints are
+        identical under both.
+    retries : int
+        How many times a job whose worker *process* died mid-job
+        (killed, OOM, segfault) is retried on a fresh worker before
+        it is failed (default 1).  Only infrastructure crashes are
+        retried — a job whose own run raises fails immediately.
+    faults_dir : str or pathlib.Path, optional
+        Fault-injection token directory (see
+        :mod:`repro.service.faults`); defaults to
+        ``$REPRO_SERVICE_FAULTS_DIR``, and to no-op hooks when neither
+        is set.
     start : bool
         Start the worker threads immediately (default).  ``start=False``
         leaves the queue paused — submissions accumulate (and
@@ -107,16 +143,30 @@ class SparsifierService:
 
     def __init__(self, *, workers: int = 2, persistent: bool = True,
                  cache_dir=None, max_sessions: int = 8,
-                 max_jobs: int = 1000, start: bool = True) -> None:
+                 max_jobs: int = 1000, executor: str = "thread",
+                 retries: int = 1, faults_dir=None,
+                 start: bool = True) -> None:
+        from repro.service.executors import EXECUTOR_NAMES
+
         self.workers = resolve_workers(workers)
         self.persistent = bool(persistent) or cache_dir is not None
         self.cache_dir = cache_dir
         self.max_sessions = int(max_sessions)
         self.max_jobs = int(max_jobs)
+        self.retries = int(retries)
+        self.faults_dir = faults.resolve_faults_dir(faults_dir)
         if self.max_sessions < 1:
             raise ServiceError("max_sessions must be >= 1")
         if self.max_jobs < 1:
             raise ServiceError("max_jobs must be >= 1")
+        if self.retries < 0:
+            raise ServiceError("retries must be >= 0")
+        if executor not in EXECUTOR_NAMES:
+            raise ServiceError(
+                f"unknown executor {executor!r}; choose from "
+                f"{', '.join(EXECUTOR_NAMES)}"
+            )
+        self.executor = str(executor)
 
         self._cond = threading.Condition()
         self._queue: list = []            # (-priority, order, job_id)
@@ -142,7 +192,14 @@ class SparsifierService:
         self.completed_runs = 0
         #: Total submissions accepted (primaries + followers).
         self.submitted = 0
+        #: Worker-process crashes observed (each one rebuilt a pool).
+        self.worker_restarts = 0
+        #: Disk-cache counter deltas reported by worker processes —
+        #: their sessions live out-of-process, so /stats aggregates
+        #: these instead of reading the sessions directly.
+        self._external_cache: Counter = Counter()
 
+        self._backend = make_executor(self.executor, self)
         if start:
             self.start()
 
@@ -150,10 +207,17 @@ class SparsifierService:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start (or resume) the worker threads; idempotent."""
+        """Start (or resume) the worker threads; idempotent.
+
+        Also boots the execution backend (worker processes under
+        ``executor="process"``), so a paused service pays the process
+        spawn cost here rather than on its first job.
+        """
         with self._cond:
             if self._stopping:
                 raise ServiceError("service already shut down")
+        self._backend.start()
+        with self._cond:
             missing = self.workers - len(self._threads)
             for k in range(missing):
                 thread = threading.Thread(
@@ -169,6 +233,22 @@ class SparsifierService:
     def accepting(self) -> bool:
         """False once shutdown started; submissions are then rejected."""
         return self._accepting
+
+    @property
+    def resolved_cache_dir(self):
+        """The effective disk-cache root (``None`` when memory-only).
+
+        Resolved in this (parent) process — worker processes inherit
+        the *path*, never re-read the environment, because forkserver
+        children freeze their environment at server start.
+        """
+        if not self.persistent:
+            return None
+        if self.cache_dir is not None:
+            return self.cache_dir
+        from repro.core.diskcache import default_cache_root
+
+        return default_cache_root()
 
     def shutdown(self, *, drain: bool = True,
                  timeout: float | None = None) -> None:
@@ -211,6 +291,11 @@ class SparsifierService:
         for thread in self._threads:
             thread.join(timeout=timeout)
         self._threads = [t for t in self._threads if t.is_alive()]
+        if not self._threads:
+            # Backend teardown (reaping worker processes) only once the
+            # scheduler threads are gone — a still-joining worker might
+            # have a job in flight on the backend.
+            self._backend.close(timeout=timeout)
 
     def _live_queue_depth(self) -> int:
         """Heap entries whose job is still queued (lock held) —
@@ -294,6 +379,7 @@ class SparsifierService:
             job._dedup_key = dedup_key
             job._graph = graph                 # released when finished
             job._resolved_label = resolved_label
+            job._seed = seed          # crosses the process boundary
             self._jobs[job.id] = job
             self.submitted += 1
             primary_id = self._inflight.get(dedup_key)
@@ -378,26 +464,40 @@ class SparsifierService:
                 self._followers.get(job.dedup_of, []).remove(job.id)
                 self._mark_cancelled(job)
                 return job
-            followers = self._followers.pop(job.id, [])
             self._mark_cancelled(job)
-            if followers:
-                heir = self._jobs[followers[0]]
-                heir.dedup_of = None
-                self._inflight[heir._dedup_key] = heir.id
-                remaining = followers[1:]
-                if remaining:
-                    self._followers[heir.id] = remaining
-                    for fid in remaining:
-                        self._jobs[fid].dedup_of = heir.id
-                heapq.heappush(
-                    self._queue,
-                    (-heir.spec.priority, next(self._order), heir.id),
-                )
-                self._cond.notify()
-            else:
-                if self._inflight.get(job._dedup_key) == job.id:
-                    del self._inflight[job._dedup_key]
+            self._promote_followers(job)
             return job
+
+    def _promote_followers(self, job: Job) -> None:
+        """Detach a dead primary's followers onto a new heir (lock held).
+
+        The oldest still-queued follower becomes primary — re-queued at
+        the original priority, inheriting the remaining followers — so
+        the shared computation still happens for the clients waiting on
+        it.  With no followers left, the dedup slot is simply released.
+        Shared by :meth:`cancel` and the worker-crash path: in both, the
+        primary is gone but its followers' work is still owed.
+        """
+        followers = [
+            fid for fid in self._followers.pop(job.id, [])
+            if self._jobs[fid].status == "queued"
+        ]
+        if followers:
+            heir = self._jobs[followers[0]]
+            heir.dedup_of = None
+            self._inflight[heir._dedup_key] = heir.id
+            remaining = followers[1:]
+            if remaining:
+                self._followers[heir.id] = remaining
+                for fid in remaining:
+                    self._jobs[fid].dedup_of = heir.id
+            heapq.heappush(
+                self._queue,
+                (-heir.spec.priority, next(self._order), heir.id),
+            )
+            self._cond.notify()
+        elif self._inflight.get(job._dedup_key) == job.id:
+            del self._inflight[job._dedup_key]
 
     def stats(self) -> dict:
         """Queue/dedup/session/cache counters (the ``/stats`` payload).
@@ -410,6 +510,7 @@ class SparsifierService:
         with self._cond:
             by_status = Counter(job.status for job in self._jobs.values())
             sessions = list(self._sessions.values())
+            external = dict(self._external_cache)
             stats = {
                 "queue_depth": self._live_queue_depth(),
                 "running": len(self._running),
@@ -421,6 +522,8 @@ class SparsifierService:
                 "completed_runs": self.completed_runs,
                 "dedup_hits": self.dedup_hits,
                 "workers": self.workers,
+                "executor": self.executor,
+                "worker_restarts": self.worker_restarts,
                 "accepting": self._accepting,
                 "sessions": len(self._sessions),
                 "uptime_seconds": time.time() - self.started_at,
@@ -430,21 +533,18 @@ class SparsifierService:
             "hits": 0, "misses": 0, "stores": 0,
             "evictions": 0, "errors": 0,
         }
-        if self.persistent:
-            from repro.core.diskcache import default_cache_root
-
-            cache["root"] = str(
-                self.cache_dir if self.cache_dir is not None
-                else default_cache_root()
-            )
+        resolved = self.resolved_cache_dir
+        if resolved is not None:
+            cache["root"] = str(resolved)
         for slot in sessions:
             disk = slot.session.stats().get("disk")
             if disk is None:
                 continue
-            cache.setdefault("root", disk["root"])
             for counter in ("hits", "misses", "stores", "evictions",
                             "errors"):
                 cache[counter] += sum(disk[counter].values())
+        for counter, delta in external.items():
+            cache[counter] += delta
         stats["cache"] = cache
         return stats
 
@@ -509,39 +609,70 @@ class SparsifierService:
                 self._running.add(job.id)
                 self._cond.notify_all()
             try:
-                record = self._execute(job)
+                record = self._run_job(job)
+            except WorkerCrashError as exc:
+                # Infrastructure death (retries exhausted): fail only
+                # the crashed primary; its followers asked for a result
+                # the crash says nothing about, so they re-queue under
+                # a promoted heir instead of inheriting the failure.
+                self._crash(job, f"{type(exc).__name__}: {exc}")
             except Exception as exc:
-                # Any failure — bad numerics, a runner bug — fails this
-                # job (and its followers); the worker itself survives.
+                # Any in-job failure — bad numerics, a runner bug —
+                # fails this job (and its followers); the worker
+                # itself survives.
                 self._finish(job, error=f"{type(exc).__name__}: {exc}")
             else:
                 self._finish(job, record=record)
 
-    def _execute(self, job: Job) -> dict:
-        """Run one primary job on its graph's shared warm session."""
-        from repro.api import RunRecord
-        from repro.core.metrics import evaluate_sparsifier
-        from repro.utils.timers import Timer
+    def _run_job(self, job: Job) -> dict:
+        """Run one primary on the backend, retrying worker crashes.
 
+        Stamps ``job.attempts``; folds worker-side cache deltas into
+        the service totals.  A crash beyond the retry budget
+        propagates :class:`~repro.exceptions.WorkerCrashError`.
+        """
+        faults.maybe_delay("scheduler", self.faults_dir)
+        attempt = 0
+        while True:
+            attempt += 1
+            job.attempts = attempt
+            try:
+                record, cache_delta = self._backend.run(job)
+            except WorkerCrashError:
+                with self._cond:
+                    self.worker_restarts += 1
+                if attempt > self.retries:
+                    raise
+                continue
+            if cache_delta:
+                with self._cond:
+                    self._external_cache.update(cache_delta)
+            return record
+
+    def _execute(self, job: Job) -> dict:
+        """Run one primary job on its graph's shared warm session.
+
+        The in-process path the thread backend delegates to; the
+        actual run logic is the backend-shared
+        :func:`~repro.service.executors.run_spec_on_session`.
+        """
         slot = self._session_for(job)
-        spec = job.spec
         with slot.lock:
-            result = slot.session.sparsify(spec.method, **spec.options)
-            quality = None
-            evaluate_seconds = None
-            if spec.evaluate:
-                timer = Timer()
-                with timer:
-                    quality = evaluate_sparsifier(
-                        slot.session.graph, result.sparsifier,
-                        seed=result.config.seed,
-                    )
-                evaluate_seconds = timer.elapsed
-        record = RunRecord.from_result(
-            result, method=spec.method, label=job._resolved_label,
-            quality=quality, evaluate_seconds=evaluate_seconds,
-        )
-        return record.to_dict()
+            return run_spec_on_session(
+                slot.session, job.spec, job._resolved_label
+            )
+
+    def _crash(self, job: Job, error: str) -> None:
+        """Fail a primary whose worker died; promote its followers."""
+        with self._cond:
+            self._running.discard(job.id)
+            self._promote_followers(job)
+            job.status = "failed"
+            job.error = error
+            job.finished_at = time.time()
+            job._graph = None
+            self._prune_jobs()
+            self._cond.notify_all()
 
     def _finish(self, job: Job, *, record: dict | None = None,
                 error: str | None = None) -> None:

@@ -1,0 +1,147 @@
+"""Executor parity: the scheduler contract is backend-independent.
+
+Every test here runs twice — once under the thread backend, once under
+the process backend — and asserts the *same* observable behavior:
+dedup counters, priority/FIFO ordering, cancellation/promotion,
+drain-vs-cancel shutdown, warm restarts, and RunRecord fingerprints
+byte-equal to a direct :func:`repro.sparsify` call (which makes the
+two backends byte-equal to each other by transitivity).
+"""
+
+import pytest
+
+from repro.api import RunRecord, list_methods, sparsify
+from repro.graph import make_case
+from repro.service import EXECUTOR_NAMES, SparsifierService
+
+SOURCE = {"case": "ecology2", "scale": 0.02}
+OPTS = {"edge_fraction": 0.1}
+
+
+@pytest.fixture(params=EXECUTOR_NAMES)
+def executor(request):
+    """Both execution backends, by name."""
+    return request.param
+
+
+@pytest.fixture
+def paused(executor, tmp_path):
+    """A paused service on the parametrized backend."""
+    service = SparsifierService(
+        workers=1, cache_dir=tmp_path / "cache", executor=executor,
+        start=False,
+    )
+    yield service
+    service.shutdown(drain=False, timeout=30.0)
+
+
+class TestDedupParity:
+    def test_identical_submissions_share_one_run(self, paused):
+        j1 = paused.submit(SOURCE, method="grass", options=OPTS)
+        j2 = paused.submit(SOURCE, method="grass", options=OPTS)
+        assert j2.dedup_of == j1.id
+        assert paused.dedup_hits == 1
+        paused.start()
+        done1 = paused.wait(j1.id, timeout=180)
+        done2 = paused.wait(j2.id, timeout=180)
+        assert done1.status == done2.status == "done"
+        assert paused.completed_runs == 1
+        assert done1.record == done2.record
+
+
+class TestOrderingParity:
+    def test_priority_then_fifo_ties(self, paused):
+        low1 = paused.submit(SOURCE, method="grass",
+                             options={"edge_fraction": 0.1})
+        high = paused.submit(SOURCE, method="grass",
+                             options={"edge_fraction": 0.12},
+                             priority=5)
+        low2 = paused.submit(SOURCE, method="grass",
+                             options={"edge_fraction": 0.14})
+        paused.start()
+        for job in (low1, high, low2):
+            assert paused.wait(job.id, timeout=240).status == "done"
+        # One worker runs strictly serially: the high-priority job
+        # starts first, equal priorities start in submission order.
+        assert high.started_at < low1.started_at < low2.started_at
+
+
+class TestCancellationParity:
+    def test_cancelling_primary_promotes_follower(self, paused):
+        primary = paused.submit(SOURCE, method="grass", options=OPTS)
+        follower = paused.submit(SOURCE, method="grass", options=OPTS)
+        assert follower.dedup_of == primary.id
+        paused.cancel(primary.id)
+        assert primary.status == "cancelled"
+        assert follower.dedup_of is None       # promoted to primary
+        paused.start()
+        assert paused.wait(follower.id, timeout=180).status == "done"
+        assert paused.completed_runs == 1
+
+    def test_cancel_shutdown_cancels_queued_jobs(self, paused):
+        jobs = [
+            paused.submit(SOURCE, method="grass",
+                          options={"edge_fraction": frac})
+            for frac in (0.1, 0.12)
+        ]
+        paused.shutdown(drain=False, timeout=30.0)
+        assert [job.status for job in jobs] == ["cancelled"] * 2
+
+
+class TestShutdownParity:
+    def test_drain_shutdown_finishes_queue(self, executor, tmp_path):
+        service = SparsifierService(
+            workers=1, cache_dir=tmp_path / "cache", executor=executor,
+        )
+        jobs = [
+            service.submit(SOURCE, method="grass",
+                           options={"edge_fraction": frac})
+            for frac in (0.1, 0.12)
+        ]
+        service.shutdown(drain=True, timeout=240.0)
+        assert [job.status for job in jobs] == ["done"] * 2
+        assert service.accepting is False
+
+
+class TestFingerprintParity:
+    @pytest.mark.parametrize("method", sorted(list_methods()))
+    def test_record_matches_direct_sparsify(self, paused, method):
+        job = paused.submit(SOURCE, method=method, options=OPTS)
+        paused.start()
+        paused.wait(job.id, timeout=180)
+        assert job.status == "done", job.error
+        served = RunRecord.from_dict(job.record)
+        graph, spec = make_case("ecology2", scale=0.02, seed=0)
+        direct = RunRecord.from_result(
+            sparsify(graph, method, **OPTS),
+            method=method, label=spec.name,
+        )
+        # Byte-parity with an in-process run: same fingerprint means
+        # same graph, config, seed and numeric outputs — for both
+        # backends and every registered method, so thread == process
+        # == direct transitively.
+        assert served.fingerprint() == direct.fingerprint()
+
+    def test_warm_restart_reuses_artifacts(self, executor, tmp_path):
+        cache = tmp_path / "cache"
+        first = SparsifierService(workers=1, cache_dir=cache,
+                                  executor=executor)
+        job1 = first.submit(SOURCE, method="grass", options=OPTS)
+        first.wait(job1.id, timeout=240)
+        first.shutdown(timeout=60.0)
+        assert job1.status == "done"
+
+        second = SparsifierService(workers=1, cache_dir=cache,
+                                   executor=executor)
+        job2 = second.submit(SOURCE, method="grass", options=OPTS)
+        second.wait(job2.id, timeout=240)
+        stats = second.stats()
+        second.shutdown(timeout=60.0)
+        assert job2.status == "done"
+        # The restarted service restored artifacts from the shared
+        # disk cache instead of re-deriving them...
+        assert stats["cache"]["hits"] > 0
+        # ...and restoration is fingerprint-lossless.
+        fp1 = RunRecord.from_dict(job1.record).fingerprint()
+        fp2 = RunRecord.from_dict(job2.record).fingerprint()
+        assert fp1 == fp2

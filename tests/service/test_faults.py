@@ -1,0 +1,206 @@
+"""Fault-injection tests: the service survives what production throws.
+
+Three failure classes, each armed through :mod:`repro.service.faults`
+and asserted end to end: a job whose run raises, a worker process
+SIGKILLed mid-job, and a corrupted disk-cache entry.  In every case
+the job must end failed-or-retried cleanly, followers of a dead
+primary must be promoted, and the service must keep serving.
+"""
+
+import pytest
+
+from repro.api import RunRecord
+from repro.exceptions import ServiceError
+from repro.service import (
+    FaultInjector,
+    ServiceClient,
+    ServiceDaemon,
+    SparsifierService,
+)
+from repro.service.faults import (
+    InjectedFaultError,
+    corrupt_cache_entries,
+    maybe_delay,
+    maybe_raise,
+)
+
+SOURCE = {"case": "ecology2", "scale": 0.02}
+OPTS = {"edge_fraction": 0.1}
+
+
+@pytest.fixture
+def injector(tmp_path):
+    return FaultInjector(tmp_path / "faults")
+
+
+def _service(tmp_path, injector, **kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    return SparsifierService(faults_dir=injector.root, **kwargs)
+
+
+class TestFaultInjector:
+    def test_tokens_fire_exactly_once(self, injector):
+        injector.arm("kill-worker", count=2)
+        assert injector.armed("kill-worker") == 2
+        assert injector.consume("kill-worker") == (True, None)
+        assert injector.consume("kill-worker") == (True, None)
+        assert injector.consume("kill-worker") == (False, None)
+
+    def test_clear_drops_everything(self, injector):
+        injector.arm("raise-worker", count=3)
+        assert injector.clear() == 3
+        assert injector.armed("raise-worker") == 0
+
+    def test_maybe_raise_and_delay_hooks(self, injector):
+        injector.arm("raise-worker")
+        with pytest.raises(InjectedFaultError, match="stage 'worker'"):
+            maybe_raise("worker", injector.root)
+        maybe_raise("worker", injector.root)      # consumed: no-op now
+        injector.arm("delay-scheduler", value=0.01)
+        assert maybe_delay("scheduler", injector.root) == 0.01
+        assert maybe_delay("scheduler", injector.root) == 0.0
+        # No faults dir at all: hooks are free no-ops.
+        maybe_raise("worker", None)
+        assert maybe_delay("scheduler", None) == 0.0
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+class TestRaiseFault:
+    def test_run_raises_fails_job_not_service(self, tmp_path, injector,
+                                              executor):
+        service = _service(tmp_path, injector, executor=executor)
+        try:
+            injector.arm("raise-worker")
+            bad = service.submit(SOURCE, method="grass", options=OPTS)
+            service.wait(bad.id, timeout=240)
+            assert bad.status == "failed"
+            assert "InjectedFaultError" in bad.error
+            # The worker survived; the next identical job completes.
+            good = service.submit(SOURCE, method="grass", options=OPTS)
+            service.wait(good.id, timeout=240)
+            assert good.status == "done"
+        finally:
+            service.shutdown(drain=False, timeout=30.0)
+
+
+class TestKilledWorker:
+    def test_killed_worker_job_is_retried_once(self, tmp_path,
+                                               injector):
+        service = _service(tmp_path, injector, executor="process")
+        try:
+            injector.arm("kill-worker")
+            job = service.submit(SOURCE, method="grass", options=OPTS)
+            service.wait(job.id, timeout=240)
+            assert job.status == "done"
+            assert job.attempts == 2          # crashed once, retried
+            assert service.stats()["worker_restarts"] == 1
+        finally:
+            service.shutdown(drain=False, timeout=30.0)
+
+    def test_permanent_crash_fails_primary_promotes_follower(
+            self, tmp_path, injector):
+        service = _service(tmp_path, injector, executor="process",
+                           retries=1, start=False)
+        try:
+            injector.arm("kill-worker", count=2)   # exhausts retries=1
+            primary = service.submit(SOURCE, method="grass",
+                                     options=OPTS)
+            follower = service.submit(SOURCE, method="grass",
+                                      options=OPTS)
+            assert follower.dedup_of == primary.id
+            service.start()
+            service.wait(primary.id, timeout=240)
+            service.wait(follower.id, timeout=240)
+            # Only the crashed primary fails; the follower asked for a
+            # result the crash says nothing about, so it re-ran as its
+            # own primary and completed.
+            assert primary.status == "failed"
+            assert "WorkerCrashError" in primary.error
+            assert primary.attempts == 2
+            assert follower.status == "done"
+            assert follower.dedup_of is None
+            assert service.stats()["worker_restarts"] == 2
+            # The service keeps serving afterwards.
+            after = service.submit(SOURCE, method="grass",
+                                   options={"edge_fraction": 0.12})
+            service.wait(after.id, timeout=240)
+            assert after.status == "done"
+        finally:
+            service.shutdown(drain=False, timeout=30.0)
+
+    def test_zero_retries_fails_on_first_crash(self, tmp_path,
+                                               injector):
+        service = _service(tmp_path, injector, executor="process",
+                           retries=0)
+        try:
+            injector.arm("kill-worker")
+            job = service.submit(SOURCE, method="grass", options=OPTS)
+            service.wait(job.id, timeout=240)
+            assert job.status == "failed"
+            assert job.attempts == 1
+        finally:
+            service.shutdown(drain=False, timeout=30.0)
+
+
+class TestCorruptedCache:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_corrupted_entries_are_rebuilt_not_fatal(self, tmp_path,
+                                                     injector,
+                                                     executor):
+        cache = tmp_path / "cache"
+        first = _service(tmp_path, injector, executor=executor)
+        job1 = first.submit(SOURCE, method="grass", options=OPTS)
+        first.wait(job1.id, timeout=240)
+        first.shutdown(timeout=60.0)
+        assert job1.status == "done"
+
+        # Clobber every stored artifact byte-for-byte.
+        corrupted = corrupt_cache_entries(cache, count=1_000_000)
+        assert corrupted, "expected on-disk artifacts to corrupt"
+
+        second = _service(tmp_path, injector, executor=executor)
+        try:
+            job2 = second.submit(SOURCE, method="grass", options=OPTS)
+            second.wait(job2.id, timeout=240)
+            assert job2.status == "done"
+            fp1 = RunRecord.from_dict(job1.record).fingerprint()
+            fp2 = RunRecord.from_dict(job2.record).fingerprint()
+            assert fp1 == fp2      # rebuilt, not silently wrong
+        finally:
+            second.shutdown(drain=False, timeout=30.0)
+
+
+class TestDaemonUnderFaults:
+    def test_healthz_stays_200_across_a_worker_kill(self, tmp_path,
+                                                    injector):
+        service = _service(tmp_path, injector, executor="process")
+        with ServiceDaemon(service=service) as daemon:
+            client = ServiceClient(daemon.url)
+            injector.arm("kill-worker")
+            job = client.submit(case="ecology2", scale=0.02,
+                                method="grass", edge_fraction=0.1)
+            # Liveness must not flicker while a worker is being
+            # killed and respawned under a running job.
+            assert client.health()["status"] == "ok"
+            done = client.wait(job["id"], timeout=240)
+            assert done["status"] == "done"
+            assert done["attempts"] == 2
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["executor"] == "process"
+            assert client.stats()["worker_restarts"] == 1
+
+    def test_injected_failure_surfaces_in_job_error(self, tmp_path,
+                                                    injector):
+        service = _service(tmp_path, injector, executor="process")
+        with ServiceDaemon(service=service) as daemon:
+            client = ServiceClient(daemon.url)
+            injector.arm("raise-worker")
+            job = client.submit(case="ecology2", scale=0.02,
+                                method="grass", edge_fraction=0.1)
+            done = client.wait(job["id"], timeout=240)
+            assert done["status"] == "failed"
+            assert "InjectedFaultError" in done["error"]
+            with pytest.raises(ServiceError, match="failed"):
+                client.result(job["id"], wait=False)

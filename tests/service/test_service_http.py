@@ -1,12 +1,16 @@
 """End-to-end tests of the HTTP daemon + typed client + CLI verbs."""
 
 import json
+import threading
+import time
+import urllib.error
+import urllib.request
 
 import pytest
 
 from repro.api import RunRecord, sparsify
 from repro.cli import main
-from repro.exceptions import ServiceError
+from repro.exceptions import ServiceConnectionError, ServiceError
 from repro.graph import make_case, write_graph_mtx
 from repro.service import ServiceClient, ServiceDaemon, SparsifierService
 
@@ -38,7 +42,7 @@ class TestEndpoints:
         health = ServiceClient(daemon.url).health()
         assert health["status"] == "ok"
         assert set(health) == {"status", "version", "uptime_seconds",
-                               "workers", "accepting"}
+                               "workers", "executor", "accepting"}
         import repro
 
         assert health["version"] == repro.__version__
@@ -190,8 +194,144 @@ class TestEndpoints:
 
     def test_client_connection_error(self):
         client = ServiceClient("http://127.0.0.1:1", timeout=2.0)
-        with pytest.raises(ServiceError, match="cannot reach"):
+        # The sharper transport-level type, still a ServiceError.
+        with pytest.raises(ServiceConnectionError, match="cannot reach"):
             client.health()
+
+
+def _raw_request(url, method, path, body=None):
+    """Send one raw HTTP request (malformed bodies and all); return
+    ``(status, parsed JSON body, headers)``."""
+    headers = {"Accept": "application/json"}
+    if body is not None:
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url + path, data=body, method=method, headers=headers
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return (response.status,
+                    json.loads(response.read() or b"{}"),
+                    dict(response.headers))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}"), dict(exc.headers)
+
+
+#: The documented error surface, one row per way a request can be
+#: wrong: (verb, path, raw body, expected status, message fragment).
+ERROR_MATRIX = [
+    # malformed bodies
+    ("POST", "/jobs", b"{not json", 400, "not valid JSON"),
+    ("POST", "/jobs", b"[1, 2]", 400, "JSON object"),
+    ("POST", "/jobs", b"", 400, "JSON object"),
+    ("POST", "/jobs", b'{"graph": {"case": "ecology2"}, "nope": 1}',
+     400, "unknown job field"),
+    # unsupported verbs
+    ("PUT", "/jobs", b"{}", 405, "method PUT is not supported"),
+    ("PATCH", "/jobs/job-000001", b"{}", 405,
+     "method PATCH is not supported"),
+    # unknown endpoints and job ids
+    ("POST", "/no-such", b"{}", 404, "no such endpoint"),
+    ("GET", "/no-such", None, 404, "no such endpoint"),
+    ("GET", "/jobs/job-999999", None, 404, "unknown job id"),
+    ("GET", "/jobs/job-999999/result", None, 404, "unknown job id"),
+    ("DELETE", "/jobs/job-999999", None, 404, "unknown job id"),
+    ("DELETE", "/healthz", None, 404, "no such endpoint"),
+    # bad query parameters
+    ("GET", "/jobs?status=bogus", None, 400, "unknown status filter"),
+    ("GET", "/jobs?limit=abc", None, 400, "must be an integer"),
+    ("GET", "/jobs?limit=0", None, 400, "limit must be >= 1"),
+    ("GET", "/jobs?nope=1", None, 400, "unknown query parameter"),
+]
+
+
+class TestErrorMatrix:
+    @pytest.mark.parametrize(
+        "verb,path,body,status,fragment", ERROR_MATRIX,
+        ids=[f"{row[0]}-{row[1]}-{row[3]}" for row in ERROR_MATRIX],
+    )
+    def test_documented_4xx(self, daemon, verb, path, body, status,
+                            fragment):
+        got, payload, headers = _raw_request(daemon.url, verb, path,
+                                             body)
+        assert got == status
+        assert fragment in payload["error"]
+        # Every error is a JSON body — never an HTML error page.
+        assert headers["Content-Type"] == "application/json"
+        if status == 405:
+            assert "Allow" in headers
+
+    def test_oversized_body_is_413_with_bound_in_message(self,
+                                                         tmp_path):
+        with ServiceDaemon(workers=1, cache_dir=tmp_path / "cache",
+                           max_body_bytes=1024) as daemon:
+            big = json.dumps(
+                {"graph": {"mtx": "x" * 4096}, "method": "grass"}
+            ).encode()
+            status, payload, _ = _raw_request(daemon.url, "POST",
+                                              "/jobs", big)
+            assert status == 413
+            assert "at most 1024" in payload["error"]
+            # The daemon is unharmed and still accepts normal jobs.
+            client = ServiceClient(daemon.url)
+            job = client.submit(**SUBMIT)
+            assert client.wait(job["id"], timeout=120)["status"] == \
+                "done"
+
+    def test_shutting_down_daemon_is_503(self, paused_daemon):
+        paused_daemon.service.shutdown(drain=False, timeout=5.0)
+        status, payload, _ = _raw_request(
+            paused_daemon.url, "POST", "/jobs",
+            json.dumps({"graph": {"case": "ecology2",
+                                  "scale": 0.02}}).encode(),
+        )
+        assert status == 503
+        assert "shutting down" in payload["error"]
+
+    def test_jobs_listing_filters(self, paused_daemon):
+        client = ServiceClient(paused_daemon.url)
+        queued = client.submit(**SUBMIT)
+        cancelled = client.submit(**dict(SUBMIT, edge_fraction=0.2))
+        client.cancel(cancelled["id"])
+        assert [j["id"] for j in client.jobs(status="queued")] == \
+            [queued["id"]]
+        assert [j["id"] for j in client.jobs(status="cancelled")] == \
+            [cancelled["id"]]
+        assert client.jobs(status="done") == []
+        assert [j["id"] for j in client.jobs(limit=1)] == \
+            [cancelled["id"]]                  # the most recent one
+
+
+class TestDaemonWentAway:
+    def test_wait_aborts_immediately_when_daemon_dies(self, tmp_path):
+        """A dead daemon must fail a waiting client *now*, not after
+        the full wait timeout burns down against a dead socket."""
+        service = SparsifierService(
+            workers=1, cache_dir=tmp_path / "cache", start=False
+        )
+        daemon = ServiceDaemon(service=service)
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.url, timeout=10.0)
+            job = client.submit(**SUBMIT)      # paused: queued forever
+
+            def _kill_http():
+                time.sleep(0.3)
+                daemon._httpd.shutdown()
+                daemon._httpd.server_close()
+
+            killer = threading.Thread(target=_kill_http)
+            killer.start()
+            started = time.time()
+            with pytest.raises(ServiceConnectionError,
+                               match="went away"):
+                client.wait(job["id"], timeout=120.0)
+            # Aborted as soon as the connection was refused — far
+            # inside the 120 s budget a queued-job poll would get.
+            assert time.time() - started < 30.0
+            killer.join()
+        finally:
+            service.shutdown(drain=False, timeout=10.0)
 
 
 class TestCLIVerbs:

@@ -1,0 +1,350 @@
+#!/usr/bin/env python
+"""Load-test the service daemon: N clients × M graphs, both executors.
+
+The ``make load-smoke`` gate and the generator of ``BENCH_service.json``:
+for each executor backend (thread, process) this harness
+
+1. boots ``repro serve`` as a subprocess on an ephemeral port with an
+   isolated cache root,
+2. fires ``--clients`` concurrent client threads, each submitting
+   ``--jobs-per-client`` jobs round-robin over ``--graphs`` distinct
+   graphs (a deliberate burst, so identical in-flight submissions
+   exercise request dedup),
+3. waits for every job, then SIGTERM-drains the daemon,
+4. repeats the same load against a *restarted* daemon on the same
+   cache root — the warm phase, whose disk-cache hit ratio is the
+   "warm restarts actually work" number,
+
+and emits one record per executor with p50/p99 submit-to-done latency,
+jobs/sec, dedup hits, worker restarts and the cache warm ratio.
+
+``--smoke`` shrinks the matrix to CI size, enforces a hard wall-clock
+budget (default 60 s), and fails the run unless every record shows
+``jobs_per_second > 0`` and zero failed jobs.
+
+Fault injection composes: ``--kill-workers K`` arms K kill-worker
+tokens (via :mod:`repro.service.faults`) before the cold phase, so the
+measured throughput includes the scheduler retrying over dead worker
+processes (process executor only — a thread backend shares the
+daemon's process).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Distinct generated graphs the clients rotate over (index i uses
+#: scale GRAPH_SCALES[i % len]); more graphs = more cross-graph
+#: concurrency, fewer = more dedup pressure.
+GRAPH_SCALES = (0.02, 0.03, 0.04, 0.05)
+
+
+def _percentile(values: list, q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class Daemon:
+    """One ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, *, executor: str, workers: int, cache_dir: str,
+                 faults_dir: str | None, deadline: float) -> None:
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (
+            f"{src}:{env['PYTHONPATH']}" if env.get("PYTHONPATH")
+            else src
+        )
+        env["REPRO_CACHE_DIR"] = cache_dir
+        if faults_dir is not None:
+            env["REPRO_SERVICE_FAULTS_DIR"] = faults_dir
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--workers", str(workers),
+             "--executor", executor],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, cwd=REPO_ROOT, env=env,
+        )
+        self.url = self._read_banner(deadline)
+
+    def _read_banner(self, deadline: float) -> str:
+        holder: dict = {}
+        reader = threading.Thread(
+            target=lambda: holder.update(
+                line=self.proc.stdout.readline()),
+            daemon=True,
+        )
+        reader.start()
+        reader.join(timeout=max(deadline - time.time(), 1.0))
+        banner = holder.get("line")
+        match = re.search(r"listening on (http://\S+)", banner or "")
+        if not match:
+            self.proc.kill()
+            raise RuntimeError(
+                f"daemon printed no listening banner, got {banner!r}"
+            )
+        return match.group(1)
+
+    def stop(self, deadline: float) -> int:
+        """SIGTERM-drain; return the exit code (kill on overrun)."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                return self.proc.wait(
+                    timeout=max(deadline - time.time(), 1.0)
+                )
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                return -9
+        return self.proc.returncode
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+
+
+def _run_phase(url: str, *, clients: int, graphs: int,
+               jobs_per_client: int, deadline: float) -> dict:
+    """One load burst against a live daemon; returns phase metrics."""
+    from repro.service import ServiceClient
+
+    specs = [
+        {"case": "ecology2",
+         "scale": GRAPH_SCALES[i % len(GRAPH_SCALES)]}
+        for i in range(graphs)
+    ]
+    submitted: list = [[] for _ in range(clients)]
+    errors: list = []
+
+    def _client(index: int) -> None:
+        client = ServiceClient(url)
+        try:
+            for j in range(jobs_per_client):
+                spec = specs[(index + j) % len(specs)]
+                job = client.submit(case=spec["case"],
+                                    scale=spec["scale"],
+                                    method="grass",
+                                    edge_fraction=0.1)
+                submitted[index].append(job["id"])
+        except Exception as exc:  # noqa: BLE001 - reported, not hidden
+            errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+    started = time.time()
+    threads = [
+        threading.Thread(target=_client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=max(deadline - time.time(), 1.0))
+
+    poller = ServiceClient(url)
+    job_ids = [job_id for per_client in submitted
+               for job_id in per_client]
+    finished: dict = {}
+    while len(finished) < len(job_ids) and time.time() < deadline:
+        for job in poller.jobs():
+            if job["id"] in finished or job["id"] not in job_ids:
+                continue
+            if job["status"] in ("done", "failed", "cancelled"):
+                finished[job["id"]] = job
+        if len(finished) < len(job_ids):
+            time.sleep(0.1)
+    elapsed = time.time() - started
+
+    stats = poller.stats()
+    done = [job for job in finished.values() if job["status"] == "done"]
+    failed = [job for job in finished.values()
+              if job["status"] != "done"]
+    errors.extend(
+        f"{job['id']}: {job['status']} ({job.get('error')})"
+        for job in failed
+    )
+    if len(finished) < len(job_ids):
+        errors.append(
+            f"{len(job_ids) - len(finished)} of {len(job_ids)} jobs "
+            "unfinished at the deadline"
+        )
+    latencies = [job["finished_at"] - job["created_at"] for job in done]
+    return {
+        "seconds": round(elapsed, 3),
+        "jobs": len(job_ids),
+        "done": len(done),
+        "failed": len(job_ids) - len(done),
+        "jobs_per_second": round(len(done) / elapsed, 3) if elapsed
+        else 0.0,
+        "latency_seconds": {
+            "p50": round(_percentile(latencies, 50), 4),
+            "p99": round(_percentile(latencies, 99), 4),
+            "mean": round(sum(latencies) / len(latencies), 4),
+            "max": round(max(latencies), 4),
+        } if latencies else None,
+        "dedup_hits": stats["dedup_hits"],
+        "completed_runs": stats["completed_runs"],
+        "worker_restarts": stats["worker_restarts"],
+        "cache_hits": stats["cache"]["hits"],
+        "cache_misses": stats["cache"]["misses"],
+        "errors": errors,
+    }
+
+
+def run_executor(executor: str, args, deadline: float) -> dict:
+    """Cold phase + drain + warm restart phase for one backend."""
+    cache_dir = tempfile.mkdtemp(prefix=f"load-test-{executor}-")
+    faults_dir = None
+    if args.kill_workers and executor == "process":
+        faults_dir = tempfile.mkdtemp(prefix="load-test-faults-")
+        from repro.service.faults import FaultInjector
+
+        FaultInjector(faults_dir).arm("kill-worker",
+                                      count=args.kill_workers)
+    phases = {}
+    for phase in ("cold", "warm"):
+        daemon = Daemon(executor=executor, workers=args.workers,
+                        cache_dir=cache_dir, faults_dir=faults_dir,
+                        deadline=deadline)
+        try:
+            phases[phase] = _run_phase(
+                daemon.url, clients=args.clients, graphs=args.graphs,
+                jobs_per_client=args.jobs_per_client,
+                deadline=deadline,
+            )
+        finally:
+            code = daemon.stop(deadline)
+            daemon.kill()
+        if code != 0:
+            phases[phase]["errors"].append(
+                f"daemon exited {code} instead of draining cleanly"
+            )
+        print(f"load-test [{executor}/{phase}]: "
+              f"{phases[phase]['done']}/{phases[phase]['jobs']} jobs "
+              f"in {phases[phase]['seconds']}s "
+              f"({phases[phase]['jobs_per_second']} jobs/s, "
+              f"{phases[phase]['dedup_hits']} dedup hits)",
+              flush=True)
+
+    cold, warm = phases["cold"], phases["warm"]
+    warm_total = warm["cache_hits"] + warm["cache_misses"]
+    latencies = [p["latency_seconds"] for p in (cold, warm)
+                 if p["latency_seconds"]]
+    return {
+        "bench": "service-load",
+        "executor": executor,
+        "workers": args.workers,
+        "clients": args.clients,
+        "graphs": args.graphs,
+        "jobs_per_client": args.jobs_per_client,
+        "jobs": cold["jobs"] + warm["jobs"],
+        "failed": cold["failed"] + warm["failed"],
+        "jobs_per_second": round(
+            (cold["done"] + warm["done"])
+            / max(cold["seconds"] + warm["seconds"], 1e-9), 3),
+        "latency_seconds": {
+            key: round(max(block[key] for block in latencies), 4)
+            for key in ("p50", "p99", "mean", "max")
+        } if latencies else None,
+        "dedup_hits": cold["dedup_hits"] + warm["dedup_hits"],
+        "worker_restarts": cold["worker_restarts"]
+        + warm["worker_restarts"],
+        "cache_warm_ratio": round(warm["cache_hits"] / warm_total, 4)
+        if warm_total else 0.0,
+        "phases": phases,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="service daemon load test (thread vs process "
+        "executor)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client threads")
+    parser.add_argument("--graphs", type=int, default=3,
+                        help="distinct graphs the clients rotate over")
+    parser.add_argument("--jobs-per-client", type=int, default=6)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="daemon worker threads/processes")
+    parser.add_argument("--executors", nargs="+",
+                        choices=("thread", "process"),
+                        default=["thread", "process"])
+    parser.add_argument("--kill-workers", type=int, default=0,
+                        help="arm this many kill-worker faults before "
+                        "the cold phase (process executor only)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="hard wall-clock budget in seconds "
+                        "(default: 60 with --smoke, 900 otherwise)")
+    parser.add_argument("--out", default=str(REPO_ROOT
+                                             / "BENCH_service.json"),
+                        help="output JSON path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI matrix + hard assertions "
+                        "(jobs/sec > 0, zero failed)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.clients = min(args.clients, 2)
+        args.graphs = min(args.graphs, 2)
+        args.jobs_per_client = min(args.jobs_per_client, 3)
+        args.workers = min(args.workers, 1)
+    budget = args.budget if args.budget is not None else (
+        60.0 if args.smoke else 900.0)
+    deadline = time.time() + budget
+
+    records = []
+    for executor in args.executors:
+        records.append(run_executor(executor, args, deadline))
+
+    out = Path(args.out)
+    out.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    print(f"load-test: wrote {len(records)} records to {out}")
+
+    failures = []
+    for record in records:
+        for phase_name, phase in record["phases"].items():
+            for error in phase["errors"]:
+                failures.append(
+                    f"[{record['executor']}/{phase_name}] {error}")
+        if args.smoke:
+            if record["failed"]:
+                failures.append(
+                    f"[{record['executor']}] {record['failed']} "
+                    "failed jobs in smoke mode")
+            if record["jobs_per_second"] <= 0:
+                failures.append(
+                    f"[{record['executor']}] jobs_per_second is "
+                    f"{record['jobs_per_second']}")
+    if time.time() > deadline:
+        failures.append(f"overran the {budget:.0f}s budget")
+    if failures:
+        for failure in failures:
+            print(f"load-test: FAIL — {failure}", file=sys.stderr)
+        return 1
+    print(f"load-test: OK ({budget - (deadline - time.time()):.1f}s "
+          f"of {budget:.0f}s budget)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
