@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke serve-smoke load-smoke docs-check
+.PHONY: test bench-smoke serve-smoke load-smoke incremental-smoke docs-check
 
 # Tier-1 gate: the full unit/property suite.
 test:
@@ -30,6 +30,14 @@ serve-smoke:
 # BENCH_service.json.
 load-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) tools/load_test.py --smoke
+
+# Incremental sanity: replay a tiny edge stream through the
+# EvolvingSparsifier under a 60 s budget; fails unless the delta path
+# beats a per-batch full rebuild and the incrementally maintained
+# kappa stays within the drift budget of a from-scratch run.  Writes
+# BENCH_incremental.json.
+incremental-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_incremental.py --smoke
 
 # The documentation gate: the generated API reference must match the
 # registries, the public API must be fully docstringed, and every

@@ -95,6 +95,12 @@ from repro.api import (
     SparsifierSession,
     sparsify,
 )
+from repro.incremental import (
+    DeltaRecord,
+    EdgeBatch,
+    EvolvingSparsifier,
+    sparsify_delta,
+)
 from repro.backends import (
     LinalgBackend,
     get_backend,
@@ -103,7 +109,7 @@ from repro.backends import (
     backend_capabilities,
 )
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "Graph",
@@ -169,6 +175,10 @@ __all__ = [
     "RunRecord",
     "SparsifierSession",
     "sparsify",
+    "DeltaRecord",
+    "EdgeBatch",
+    "EvolvingSparsifier",
+    "sparsify_delta",
     "LinalgBackend",
     "get_backend",
     "list_backends",

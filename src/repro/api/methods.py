@@ -24,6 +24,7 @@ __all__ = []
     deterministic=True,
     supports_rounds=True,
     supports_workers=True,
+    supports_incremental=True,
     description="Algorithm 2: approximate trace reduction (the paper)",
 )
 def _run_proposed(graph, config, artifacts=None):
@@ -60,6 +61,7 @@ def _run_fegrass(graph, config, artifacts=None):
     deterministic=True,   # seeded JL sketch + seeded sampling
     supports_rounds=False,
     supports_workers=False,
+    supports_incremental=True,
     description="Spielman-Srivastava effective-resistance sampling",
 )
 def _run_er_sampling(graph, config, artifacts=None):

@@ -35,7 +35,12 @@ __all__ = [
 _REGISTRY: dict[str, "MethodSpec"] = {}
 
 #: Capability flags every :class:`MethodSpec` carries.
-CAPABILITY_FLAGS = ("deterministic", "supports_rounds", "supports_workers")
+CAPABILITY_FLAGS = (
+    "deterministic",
+    "supports_rounds",
+    "supports_workers",
+    "supports_incremental",
+)
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,12 @@ class MethodSpec:
     supports_rounds / supports_workers:
         Whether the method iterates densification rounds / can shard
         candidate scoring across worker processes.
+    supports_incremental:
+        Whether the method's result carries the spanning forest and
+        kept-edge structure :class:`repro.incremental.EvolvingSparsifier`
+        maintains under edge mutations; methods without this flag
+        raise :class:`~repro.exceptions.IncrementalError` on the
+        evolving-graph surfaces.
     description:
         One line for ``repro.cli methods`` style listings.
     """
@@ -77,6 +88,7 @@ class MethodSpec:
     deterministic: bool = True
     supports_rounds: bool = False
     supports_workers: bool = False
+    supports_incremental: bool = False
     description: str = ""
 
     @property
@@ -179,6 +191,7 @@ def register_sparsifier(
     deterministic: bool = True,
     supports_rounds: bool = False,
     supports_workers: bool = False,
+    supports_incremental: bool = False,
     description: str = "",
 ):
     """Class the decorated runner as sparsifier method *name*.
@@ -206,6 +219,7 @@ def register_sparsifier(
             deterministic=deterministic,
             supports_rounds=supports_rounds,
             supports_workers=supports_workers,
+            supports_incremental=supports_incremental,
             description=description,
         )
         return runner

@@ -52,7 +52,17 @@ requests are deduplicated and all jobs share one warm artifact cache::
 
     repro serve --port 8734 --workers 2
     repro submit --url http://127.0.0.1:8734 --case ecology2 --rounds 2
-    repro jobs --url http://127.0.0.1:8734
+    repro jobs --url http://127.0.0.1:8734 --status done --limit 10
+
+Evolving-graph sessions (:mod:`repro.incremental` behind the daemon):
+open a session, stream edge-mutation batches into it, and download the
+incrementally maintained sparsifier at any point::
+
+    repro graphs --create --case ecology2 --scale 0.05 --fraction 0.15
+    repro patch --graph graph-000001 --insert 0,37,1.0 --delete 0,1
+    repro graphs                       # table of live sessions
+    repro graphs --show graph-000001   # RunRecord + DeltaRecord JSON
+    repro graphs --delete graph-000001
 
 Operate the shared on-disk artifact cache the daemon (and ``repro
 sweep``) warms::
@@ -71,7 +81,7 @@ import sys
 from repro.api import RunRecord, SparsifierSession, get_method, list_methods
 from repro.api import sparsify as api_sparsify
 from repro.api.docgen import flag_for as _flag_for
-from repro.exceptions import CacheError, ReproError
+from repro.exceptions import CacheError, ReproError, ServiceError
 from repro.graph import CASE_REGISTRY, make_case, read_graph_mtx
 from repro.partitioning import (
     build_partition_preconditioner,
@@ -302,7 +312,63 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="show one job in full instead of the table")
     jobs.add_argument("--cancel", default=None,
                       help="cancel this queued job id")
+    from repro.service.jobs import JOB_STATUSES
+
+    jobs.add_argument("--status", choices=JOB_STATUSES, default=None,
+                      help="only list jobs in this lifecycle state")
+    jobs.add_argument("--limit", type=int, default=None,
+                      help="only list the most recent N jobs")
     jobs.add_argument("--json", action="store_true")
+
+    graphs = sub.add_parser(
+        "graphs",
+        help="manage evolving-graph sessions on a daemon",
+    )
+    graphs.add_argument("--url", default="http://127.0.0.1:8734")
+    graphs.add_argument("--create", action="store_true",
+                        help="open a session (pass a graph source)")
+    source = graphs.add_mutually_exclusive_group()
+    source.add_argument("--case", choices=sorted(CASE_REGISTRY))
+    source.add_argument("--mtx",
+                        help="local Matrix Market file (content is "
+                        "uploaded with the request)")
+    source.add_argument("--mtx-path",
+                        help="server-side Matrix Market path")
+    graphs.add_argument("--scale", type=float, default=None)
+    graphs.add_argument("--method", choices=sorted(list_methods()),
+                        default="proposed",
+                        help="must support incremental updates")
+    graphs.add_argument("--label", default=None)
+    graphs.add_argument("--drift-budget", type=float, default=32.0,
+                        help="estimated condition-number inflation "
+                        "that triggers a full rebuild")
+    graphs.add_argument("--locality-beta", type=int, default=2,
+                        help="hop radius of the re-examined "
+                        "neighborhood per batch")
+    graphs.add_argument("--show", default=None, metavar="ID",
+                        help="fetch one session's sparsifier "
+                        "(RunRecord + DeltaRecord JSON)")
+    graphs.add_argument("--delete", default=None, metavar="ID",
+                        help="close this session")
+    graphs.add_argument("--json", action="store_true")
+    _add_method_flags(graphs)
+
+    patch = sub.add_parser(
+        "patch",
+        help="apply an edge-mutation batch to an evolving-graph "
+        "session",
+    )
+    patch.add_argument("--url", default="http://127.0.0.1:8734")
+    patch.add_argument("--graph", required=True,
+                       help="graph session id (graph-000001)")
+    patch.add_argument("--insert", action="append", default=[],
+                       metavar="U,V,W",
+                       help="insert edge (u, v) with weight w; "
+                       "repeatable")
+    patch.add_argument("--delete", action="append", default=[],
+                       metavar="U,V",
+                       help="delete edge (u, v); repeatable")
+    patch.add_argument("--json", action="store_true")
 
     cache = sub.add_parser(
         "cache", help="inspect or prune the on-disk artifact cache"
@@ -654,7 +720,7 @@ def _cmd_jobs(args) -> int:
         job = client.job(args.job)
         print(json.dumps(job, indent=2, sort_keys=True))
         return 0
-    listing = client.jobs()
+    listing = client.jobs(status=args.status, limit=args.limit)
     if args.json:
         print(json.dumps(listing, indent=2, sort_keys=True))
         return 0
@@ -674,6 +740,110 @@ def _cmd_jobs(args) -> int:
     print(f"queue depth {stats['queue_depth']}, running "
           f"{stats['running']}, dedup hits {stats['dedup_hits']}, "
           f"{stats['sessions']} warm sessions")
+    return 0
+
+
+def _cmd_graphs(args) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.show:
+        print(json.dumps(client.graph_sparsifier(args.show),
+                         indent=2, sort_keys=True))
+        return 0
+    if args.delete:
+        session = client.delete_graph(args.delete)
+        if args.json:
+            print(json.dumps(session, indent=2, sort_keys=True))
+        else:
+            print(f"deleted {session['id']}")
+        return 0
+    if args.create:
+        options = _provided_options(args, methods=[args.method])
+        session = client.create_graph(
+            case=args.case, scale=args.scale, mtx_file=args.mtx,
+            mtx_path=args.mtx_path, method=args.method,
+            label=args.label, drift_budget=args.drift_budget,
+            locality_beta=args.locality_beta, options=options,
+        )
+        if args.json:
+            print(json.dumps(session, indent=2, sort_keys=True))
+        else:
+            summary = session["summary"]
+            print(f"created {session['id']} ({summary['label']}, "
+                  f"{summary['nodes']} nodes, "
+                  f"{summary['sparsifier_edges']} sparsifier edges)")
+        return 0
+    listing = client.graphs()
+    if args.json:
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+    table = Table(["id", "graph", "method", "batches", "rebuilds",
+                   "edges", "drift"])
+    for session in listing:
+        summary = session["summary"]
+        table.add_row([
+            session["id"], summary["label"], summary["method"],
+            summary["batches"], summary["rebuilds"],
+            summary["sparsifier_edges"],
+            f"{summary['drift_estimate']:.3f}",
+        ])
+    print(table.render())
+    return 0
+
+
+def _parse_insert(text: str):
+    parts = text.split(",")
+    if len(parts) != 3:
+        raise ServiceError(
+            f"--insert takes U,V,W (got {text!r})"
+        )
+    try:
+        return int(parts[0]), int(parts[1]), float(parts[2])
+    except ValueError:
+        raise ServiceError(
+            f"--insert takes integer endpoints and a float weight "
+            f"(got {text!r})"
+        ) from None
+
+
+def _parse_delete(text: str):
+    parts = text.split(",")
+    if len(parts) != 2:
+        raise ServiceError(f"--delete takes U,V (got {text!r})")
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ServiceError(
+            f"--delete takes integer endpoints (got {text!r})"
+        ) from None
+
+
+def _cmd_patch(args) -> int:
+    from repro.service import ServiceClient
+
+    inserts = [_parse_insert(text) for text in args.insert]
+    deletes = [_parse_delete(text) for text in args.delete]
+    if not inserts and not deletes:
+        raise ServiceError(
+            "an edge batch needs at least one --insert or --delete"
+        )
+    client = ServiceClient(args.url)
+    result = client.patch_graph(args.graph, inserts=inserts,
+                                deletes=deletes)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    entry = result["entry"]
+    summary = result["summary"]
+    print(f"{result['id']} batch {entry['batch']}: "
+          f"+{entry['inserted']}/-{entry['deleted']} edges, "
+          f"touched {entry['touched_nodes']} nodes, "
+          + ("full rebuild"
+             if entry["rebuild"] else
+             f"drift {summary['drift_estimate']:.3f}"
+             f"/{summary['drift_budget']:.0f}")
+          + f"; sparsifier now {summary['sparsifier_edges']} edges")
     return 0
 
 
@@ -725,6 +895,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "graphs": _cmd_graphs,
+    "patch": _cmd_patch,
     "cache": _cmd_cache,
 }
 

@@ -133,6 +133,8 @@ class BallCache:
         self._balls: dict = {}
         self._bundles: dict = {}
         self._finder: BallFinder | None = None
+        self._sub_indptr = None
+        self._sub_nbr = None
         self._g_indptr = None
         self._g_nbr = None
         self._g_eid = None
@@ -164,22 +166,55 @@ class BallCache:
             CSR adjacency of the current subgraph ``S``.
         invalidate : array_like of int, optional
             Nodes whose incident edge set changed since the previous
-            attach (the endpoints of newly recovered edges).  Omit only
-            on the first attach or when the adjacency is unchanged;
-            passing stale adjacencies without the touched set silently
-            yields wrong scores.
+            attach (the endpoints of inserted or deleted edges).  Omit
+            only on the first attach or when the adjacency is
+            unchanged; re-attaching a *changed* adjacency with cached
+            entries and no touched set raises ``ValueError`` — silently
+            serving stale balls would yield wrong scores.
+
+        Raises
+        ------
+        ValueError
+            When the adjacency differs from the previously attached one,
+            entries are cached, and ``invalidate`` was not given.
         """
+        old_finder = self._finder
+        changed = (
+            old_finder is not None
+            and not (
+                np.array_equal(self._sub_indptr, indptr)
+                and np.array_equal(self._sub_nbr, neighbors)
+            )
+        )
+        if changed and invalidate is None and (self._balls or self._bundles):
+            raise ValueError(
+                "attach_subgraph: the adjacency changed but invalidate= "
+                "was not given; cached balls would silently go stale. "
+                "Pass the touched nodes (endpoints of every inserted or "
+                "deleted edge), or an empty array if the change truly "
+                "touches no cached entry."
+            )
         self._finder = BallFinder(indptr, neighbors)
+        self._sub_indptr = indptr
+        self._sub_nbr = neighbors
         if invalidate is None:
             return
         invalidate = np.asarray(invalidate, dtype=np.int64)
         stale: set = set()
         for node in invalidate:
-            # Balls are grown in the NEW adjacency: a cached entry for
-            # ``a`` is stale iff some touched node is within beta hops
-            # of ``a`` now, i.e. iff ``a`` is in the touched node's new
-            # ball (the adjacency is symmetric).
+            # A cached entry for ``a`` is stale iff a touched node is
+            # within beta hops of ``a`` in the OLD or the NEW adjacency
+            # (the adjacency is symmetric, so that is the union of the
+            # touched node's balls in both).  Insertions only shrink
+            # distances (old ball subset of new), so for the insert-only
+            # round loop the union degenerates to the new ball alone;
+            # deletions *grow* distances, and only the old ball reaches
+            # the entries whose routes ran through the removed edges.
             stale.update(self._finder.ball_nodes(int(node), self.beta).tolist())
+            if changed and old_finder is not None:
+                stale.update(
+                    old_finder.ball_nodes(int(node), self.beta).tolist()
+                )
         for node in stale:
             self._balls.pop(node, None)
             self._bundles.pop(node, None)

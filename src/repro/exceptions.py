@@ -49,6 +49,16 @@ class CacheError(ReproError):
     """Raised for unusable on-disk artifact-cache configurations."""
 
 
+class IncrementalError(ReproError):
+    """Raised for invalid evolving-graph operations.
+
+    Covers mutation of methods without the ``supports_incremental``
+    capability, malformed edge batches (deleting an absent edge,
+    inserting a duplicate), and unknown graph-session ids on the
+    service's ``/graphs`` surface.
+    """
+
+
 class ServiceError(ReproError):
     """Raised for sparsification-service failures.
 

@@ -1,0 +1,22 @@
+"""Incremental sparsification for evolving graphs.
+
+The delta counterpart of the one-shot pipeline: keep a sparsifier
+*alive* under streams of edge insertions and deletions instead of
+rebuilding it per mutation.  :class:`EvolvingSparsifier` maintains the
+spanning forest, ball cache and kept-edge ranking locally per batch
+(with a drift monitor falling back to the full pipeline),
+:class:`DeltaRecord` is the lossless per-batch log, and
+:func:`sparsify_delta` is the one-call facade mirrored as
+``repro.sparsify_delta``.
+"""
+
+from repro.incremental.delta import DeltaRecord, EdgeBatch, normalize_batch
+from repro.incremental.evolving import EvolvingSparsifier, sparsify_delta
+
+__all__ = [
+    "DeltaRecord",
+    "EdgeBatch",
+    "EvolvingSparsifier",
+    "normalize_batch",
+    "sparsify_delta",
+]

@@ -3,7 +3,8 @@
 :class:`ServiceClient` speaks the JSON protocol of
 :mod:`repro.service.http` over the standard library's
 :mod:`urllib.request` — no third-party HTTP stack — and is what
-``repro submit`` / ``repro jobs`` are built on::
+``repro submit`` / ``repro jobs`` / ``repro graphs`` / ``repro patch``
+are built on::
 
     from repro.service import ServiceClient
 
@@ -90,6 +91,46 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
+    @staticmethod
+    def _graph_source(case, scale, mtx_path, mtx_file, graph) -> dict:
+        """Build the wire graph-source dict from the keyword spelling.
+
+        Exactly one source must be given: a registered ``case`` name
+        (with optional ``scale``), a server-side ``mtx_path``, a local
+        ``mtx_file`` whose content is uploaded inline, or a raw
+        ``graph`` source dict.  Shared by :meth:`submit` and
+        :meth:`create_graph`.
+        """
+        sources = [s for s in (case, mtx_path, mtx_file, graph)
+                   if s is not None]
+        if len(sources) != 1:
+            raise ServiceError(
+                "pass exactly one of case=, mtx_path=, mtx_file= or "
+                "graph="
+            )
+        if scale is not None and case is None and graph is None:
+            # Matrix Market sources are fixed-size; silently ignoring
+            # the knob would break the no-silent-no-op CLI contract.
+            raise ServiceError(
+                "scale= only applies to generated case= graphs; "
+                "MTX sources are loaded as-is"
+            )
+        if graph is not None:
+            return graph
+        if case is not None:
+            source = {"case": case}
+            if scale is not None:
+                source["scale"] = scale
+            return source
+        if mtx_path is not None:
+            return {"mtx_path": str(mtx_path)}
+        try:
+            return {"mtx": Path(mtx_file).read_text()}
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot read mtx_file {str(mtx_file)!r}: {exc}"
+            ) from None
+
     def health(self) -> dict:
         """``GET /healthz`` — liveness/version/uptime."""
         return self._request("GET", "/healthz")
@@ -116,36 +157,9 @@ class ServiceClient:
         Returns the job dict; ``job["dedup_of"]`` is set when the
         daemon coalesced this request onto an identical in-flight one.
         """
-        sources = [s for s in (case, mtx_path, mtx_file, graph)
-                   if s is not None]
-        if len(sources) != 1:
-            raise ServiceError(
-                "pass exactly one of case=, mtx_path=, mtx_file= or "
-                "graph="
-            )
-        if scale is not None and case is None and graph is None:
-            # Matrix Market sources are fixed-size; silently ignoring
-            # the knob would break the no-silent-no-op CLI contract.
-            raise ServiceError(
-                "scale= only applies to generated case= graphs; "
-                "MTX sources are loaded as-is"
-            )
-        if graph is None:
-            if case is not None:
-                graph = {"case": case}
-                if scale is not None:
-                    graph["scale"] = scale
-            elif mtx_path is not None:
-                graph = {"mtx_path": str(mtx_path)}
-            else:
-                try:
-                    graph = {"mtx": Path(mtx_file).read_text()}
-                except OSError as exc:
-                    raise ServiceError(
-                        f"cannot read mtx_file {str(mtx_file)!r}: {exc}"
-                    ) from None
         payload = {
-            "graph": graph,
+            "graph": self._graph_source(case, scale, mtx_path,
+                                        mtx_file, graph),
             "method": method,
             "options": {**(options or {}), **more_options},
             "label": label,
@@ -239,6 +253,76 @@ class ServiceClient:
         already running or finished (HTTP 409).
         """
         return self._request("DELETE", f"/jobs/{job_id}")
+
+    # ------------------------------------------------------------------
+    # evolving-graph sessions
+    # ------------------------------------------------------------------
+    def create_graph(self, *, case: str | None = None,
+                     scale: float | None = None,
+                     mtx_path: str | None = None, mtx_file=None,
+                     graph: dict | None = None,
+                     method: str = "proposed",
+                     label: str | None = None,
+                     drift_budget: float = 32.0,
+                     locality_beta: int = 2,
+                     options: dict | None = None,
+                     **more_options) -> dict:
+        """``POST /graphs`` — open an evolving-graph session.
+
+        Takes the same graph-source keywords as :meth:`submit`; the
+        method must carry the ``supports_incremental`` capability.
+        Returns the session description, whose ``id``
+        (``graph-NNNNNN``) keys every later :meth:`patch_graph` /
+        :meth:`graph_sparsifier` call.
+        """
+        payload = {
+            "graph": self._graph_source(case, scale, mtx_path,
+                                        mtx_file, graph),
+            "method": method,
+            "options": {**(options or {}), **more_options},
+            "label": label,
+            "drift_budget": drift_budget,
+            "locality_beta": locality_beta,
+        }
+        return self._request("POST", "/graphs", payload)
+
+    def patch_graph(self, graph_id: str, *, inserts=(),
+                    deletes=()) -> dict:
+        """``PATCH /graphs/<id>/edges`` — apply one mutation batch.
+
+        ``inserts`` holds ``(u, v, w)`` triples, ``deletes`` holds
+        ``(u, v)`` pairs.  Returns ``{"id", "entry", "summary"}``;
+        ``entry`` is the per-batch delta log line (touched nodes,
+        re-ranked edges, drift estimate, ``rebuild`` flag).
+        """
+        payload = {
+            "insert": [list(edge) for edge in inserts],
+            "delete": [list(edge) for edge in deletes],
+        }
+        return self._request(
+            "PATCH", f"/graphs/{graph_id}/edges", payload
+        )
+
+    def graph(self, graph_id: str) -> dict:
+        """``GET /graphs/<id>`` — one session's current description."""
+        return self._request("GET", f"/graphs/{graph_id}")
+
+    def graphs(self) -> list:
+        """``GET /graphs`` — every live evolving-graph session."""
+        return self._request("GET", "/graphs")["graphs"]
+
+    def graph_sparsifier(self, graph_id: str) -> dict:
+        """``GET /graphs/<id>/sparsifier`` — the current sparsifier.
+
+        Returns ``{"id", "summary", "record", "delta"}``: the last
+        full build's RunRecord dict plus the whole per-batch
+        DeltaRecord trail.
+        """
+        return self._request("GET", f"/graphs/{graph_id}/sparsifier")
+
+    def delete_graph(self, graph_id: str) -> dict:
+        """``DELETE /graphs/<id>`` — close an evolving-graph session."""
+        return self._request("DELETE", f"/graphs/{graph_id}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ServiceClient(url={self.url!r})"

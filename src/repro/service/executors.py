@@ -30,6 +30,15 @@ OOM killer, a segfault — surfaces as
 :class:`~repro.exceptions.WorkerCrashError`; the executor rebuilds the
 broken pool immediately so the *next* attempt (the scheduler retries)
 lands on a fresh worker, and the daemon keeps serving.
+
+Besides one-shot jobs, both backends carry *graph-session ops* — the
+mutable :class:`~repro.incremental.EvolvingSparsifier` state behind
+``PATCH /graphs/<id>/edges``.  The holder of that state is an
+:class:`_EvolvingStore` (in-process for threads, inside the pinned
+worker for processes); every op payload ships the session's full
+replay ledger, so a holder that lost its state — evicted, restarted,
+or crashed mid-patch — rebuilds it deterministically from the graph
+source plus the already-applied batches instead of failing the client.
 """
 
 from __future__ import annotations
@@ -105,6 +114,81 @@ def run_spec_on_session(session, spec: JobSpec, label: str) -> dict:
     return record.to_dict()
 
 
+class _EvolvingStore:
+    """LRU-bounded holder of live evolving-sparsifier state.
+
+    One instance per state holder: the thread backend keeps one in the
+    daemon process, every process-backend worker keeps its own.  The
+    scheduler owns the durable part of a graph session (its source and
+    the ledger of applied batches); this store only caches the
+    materialized :class:`~repro.incremental.EvolvingSparsifier`.  An op
+    payload always carries the full ledger, so a cache miss — first
+    touch, LRU eviction, a fresh worker after a crash — replays the
+    session deterministically instead of erroring.
+    """
+
+    def __init__(self, *, persistent, cache_dir, max_sessions) -> None:
+        self._persistent = bool(persistent)
+        self._cache_dir = cache_dir
+        self._max_sessions = int(max_sessions)
+        # graph_id -> [evolving, batches_applied]
+        self._live: "OrderedDict" = OrderedDict()
+
+    def op(self, payload: dict) -> dict:
+        """Apply one graph-session op; return its JSON-ready outcome."""
+        kind = payload["op"]
+        graph_id = payload["graph_id"]
+        if kind == "delete":
+            self._live.pop(graph_id, None)
+            return {"id": graph_id, "deleted": True}
+        evolving = self._evolving(payload)
+        if kind == "patch":
+            entry = evolving.apply_batch(batch=payload["batch"])
+            self._live[graph_id][1] += 1
+            return {"entry": entry, "summary": evolving.summary()}
+        if kind == "export":
+            return {
+                "summary": evolving.summary(),
+                "record": evolving.base_record.to_dict(),
+                "delta": evolving.record.to_dict(),
+            }
+        if kind == "create":
+            return {"summary": evolving.summary()}
+        raise ServiceError(f"unknown graph op {kind!r}")
+
+    def _evolving(self, payload: dict):
+        """The live sparsifier for a payload, replayed on a miss."""
+        from repro.incremental import EvolvingSparsifier
+
+        graph_id = payload["graph_id"]
+        ledger = payload.get("ledger") or []
+        slot = self._live.get(graph_id)
+        if slot is not None and slot[1] == len(ledger):
+            self._live.move_to_end(graph_id)
+            return slot[0]
+        # State is missing or stale (this holder crashed or was evicted
+        # mid-stream): rebuild from the source, then replay the batches
+        # the scheduler recorded as applied.  Every step is
+        # deterministic, so the replayed state equals the lost one.
+        graph, _ = load_graph_source(
+            payload["source"], seed=int(payload["seed"])
+        )
+        evolving = EvolvingSparsifier(
+            graph, payload["method"],
+            drift_budget=payload["drift_budget"],
+            locality_beta=payload["locality_beta"],
+            label=payload["label"],
+            persistent=self._persistent, cache_dir=self._cache_dir,
+            **(payload.get("options") or {}),
+        )
+        for batch in ledger:
+            evolving.apply_batch(batch=batch)
+        self._live[graph_id] = [evolving, len(ledger)]
+        while len(self._live) > self._max_sessions:
+            self._live.popitem(last=False)
+        return evolving
+
+
 class ThreadJobExecutor:
     """Run jobs inline on the scheduler's worker threads.
 
@@ -120,6 +204,11 @@ class ThreadJobExecutor:
 
     def __init__(self, service) -> None:
         self._service = service
+        self._evolving = _EvolvingStore(
+            persistent=service.persistent,
+            cache_dir=service.cache_dir,
+            max_sessions=service.max_sessions,
+        )
 
     def start(self) -> None:
         """No worker processes to boot; idempotent no-op."""
@@ -134,6 +223,12 @@ class ThreadJobExecutor:
         faults.maybe_raise("worker", self._service.faults_dir)
         faults.maybe_delay("worker", self._service.faults_dir)
         return self._service._execute(job), None
+
+    def graph_op(self, payload: dict) -> dict:
+        """Apply one graph-session op on the in-process store."""
+        faults.maybe_raise("worker", self._service.faults_dir)
+        faults.maybe_delay("worker", self._service.faults_dir)
+        return self._evolving.op(payload)
 
     def close(self, timeout: float | None = None) -> None:
         """Nothing to tear down; idempotent no-op."""
@@ -269,6 +364,30 @@ class ProcessJobExecutor:
             ) from exc
         return outcome["record"], outcome["cache"]
 
+    def graph_op(self, payload: dict) -> dict:
+        """Apply one graph-session op in its pinned worker process.
+
+        Routed by the *base* graph's fingerprint — exactly like jobs —
+        so every op on one evolving session lands on the worker holding
+        its live state.  A crash mid-op raises
+        :class:`~repro.exceptions.WorkerCrashError` after rebuilding
+        the pool; the scheduler's retry re-sends the payload, whose
+        ledger lets the fresh worker replay the session first.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        index = self.route(payload["fingerprint"])
+        pool = self._pool(index)
+        try:
+            future = pool.submit(_graph_payload, payload)
+            return future.result()
+        except BrokenProcessPool as exc:
+            self._rebuild(index, pool)
+            raise WorkerCrashError(
+                f"worker process for graph op on {payload['graph_id']} "
+                f"died mid-op (pool {index}): {exc}"
+            ) from exc
+
     def close(self, timeout: float | None = None) -> None:
         """Shut every pool down, reaping the worker processes.
 
@@ -317,16 +436,22 @@ def make_executor(name: str, service):
 _WORKER_CONFIG: dict = {}
 _WORKER_GRAPHS: "OrderedDict" = OrderedDict()    # (source, seed) -> graph
 _WORKER_SESSIONS: "OrderedDict" = OrderedDict()  # fingerprint -> session
+_WORKER_EVOLVING: "_EvolvingStore | None" = None  # graph-session holder
 
 
 def _init_worker(persistent, cache_dir, max_sessions, faults_dir) -> None:
     """Pool-worker initializer: record the executor's resolved config."""
+    global _WORKER_EVOLVING
     _WORKER_CONFIG.update(
         persistent=persistent, cache_dir=cache_dir,
         max_sessions=max_sessions, faults_dir=faults_dir,
     )
     _WORKER_GRAPHS.clear()
     _WORKER_SESSIONS.clear()
+    _WORKER_EVOLVING = _EvolvingStore(
+        persistent=persistent, cache_dir=cache_dir,
+        max_sessions=max_sessions,
+    )
 
 
 def _worker_graph(spec: JobSpec, seed: int):
@@ -393,3 +518,12 @@ def _run_payload(payload: dict) -> dict:
             name: after[name] - before[name] for name in _CACHE_COUNTERS
         },
     }
+
+
+def _graph_payload(payload: dict) -> dict:
+    """Worker entry point for one serialized graph-session op."""
+    faults_dir = _WORKER_CONFIG.get("faults_dir")
+    faults.maybe_kill_worker(faults_dir)
+    faults.maybe_raise("worker", faults_dir)
+    faults.maybe_delay("worker", faults_dir)
+    return _WORKER_EVOLVING.op(payload)

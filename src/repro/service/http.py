@@ -24,13 +24,32 @@ Endpoints (also rendered into ``docs/api-reference.md``):
     Cancel a queued job (``409`` when it is already running/finished).
 ``GET /healthz`` and ``GET /stats``
     Liveness probe and queue/dedup/cache counters.
+``POST /graphs``
+    Open an evolving-graph session.  Body: ``{"graph": {...},
+    "method": "proposed", "options": {...}, "label": ...,
+    "drift_budget": 32.0, "locality_beta": 2}`` — the method must
+    carry the ``supports_incremental`` capability.  Returns the
+    session description (``201``) with its ``graph-NNNNNN`` id.
+``PATCH /graphs/<id>/edges``
+    Apply one edge-mutation batch.  Body: ``{"insert":
+    [[u, v, w], ...], "delete": [[u, v], ...]}``.  Returns the
+    per-batch :class:`~repro.incremental.DeltaRecord` entry (touched
+    nodes, re-ranked edges, drift estimate, whether a full rebuild
+    fired) plus the updated session summary.
+``GET /graphs`` / ``GET /graphs/<id>`` / ``GET /graphs/<id>/sparsifier``
+    List live sessions, poll one session, fetch its current
+    sparsifier — the last full build's RunRecord plus the whole
+    per-batch DeltaRecord trail.
+``DELETE /graphs/<id>``
+    Close an evolving-graph session.
 
 Every error is a JSON body ``{"error": ...}`` with a deliberate status:
-``400`` malformed request, ``404`` unknown endpoint or job id, ``405``
-unsupported verb (with an ``Allow`` header), ``409`` invalid lifecycle
-transition, ``413`` request body over the daemon's ``max_body_bytes``
-bound, ``503`` shutting down.  The error-path matrix in
-``tests/service/test_service_http.py`` pins each row.
+``400`` malformed request (including invalid edge batches), ``404``
+unknown endpoint, job or graph id, ``405`` unsupported verb (with an
+``Allow`` header), ``409`` invalid lifecycle transition, ``413``
+request body over the daemon's ``max_body_bytes`` bound, ``503``
+shutting down or worker lost beyond its retry budget.  The error-path
+matrix in ``tests/service/test_service_http.py`` pins each row.
 """
 
 from __future__ import annotations
@@ -49,6 +68,7 @@ from repro.exceptions import (
     ServiceUnavailableError,
     UnknownMethodError,
     UnknownOptionError,
+    WorkerCrashError,
 )
 from repro.service.jobs import JOB_STATUSES, JobSpec
 from repro.service.scheduler import SparsifierService
@@ -73,6 +93,18 @@ ROUTES = (
     ("GET", "/stats",
      "queue depth, per-status job counts, dedup hits, worker "
      "restarts, session and disk-cache counters"),
+    ("POST", "/graphs",
+     "open an evolving-graph session (graph source + incremental "
+     "method, drift_budget, locality_beta)"),
+    ("GET", "/graphs", "list live evolving-graph sessions"),
+    ("GET", "/graphs/<id>", "poll one evolving-graph session"),
+    ("PATCH", "/graphs/<id>/edges",
+     "apply one edge-mutation batch ({\"insert\": [[u, v, w], ...], "
+     "\"delete\": [[u, v], ...]}); returns the per-batch delta entry"),
+    ("GET", "/graphs/<id>/sparsifier",
+     "the session's current sparsifier: last full build's RunRecord "
+     "plus the per-batch DeltaRecord trail"),
+    ("DELETE", "/graphs/<id>", "close an evolving-graph session"),
 )
 
 
@@ -199,14 +231,27 @@ class _Handler(BaseHTTPRequestHandler):
         elif len(parts) == 3 and parts[:1] == ["jobs"] \
                 and parts[2] == "result":
             self._with_job(parts[1], self._send_result)
+        elif parts == ["graphs"]:
+            self._send_json({"graphs": self.service.graph_sessions()})
+        elif len(parts) == 2 and parts[0] == "graphs":
+            self._with_graph(parts[1], lambda gid: self._send_json(
+                self.service.graph_session(gid)))
+        elif len(parts) == 3 and parts[0] == "graphs" \
+                and parts[2] == "sparsifier":
+            self._with_graph(parts[1], self._send_graph_sparsifier)
         else:
             self._error(404, f"no such endpoint: GET {self.path}")
 
     def do_POST(self) -> None:
         parts = [p for p in self.path.split("?")[0].split("/") if p]
-        if parts != ["jobs"]:
+        if parts == ["jobs"]:
+            self._submit_job()
+        elif parts == ["graphs"]:
+            self._create_graph()
+        else:
             self._error(404, f"no such endpoint: POST {self.path}")
-            return
+
+    def _submit_job(self) -> None:
         try:
             spec = JobSpec.from_dict(self._read_body())
             job = self.service.submit(
@@ -226,11 +271,93 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(job.to_dict(redact_upload=True), status=201)
 
+    _GRAPH_FIELDS = frozenset({
+        "graph", "method", "options", "label", "drift_budget",
+        "locality_beta",
+    })
+
+    def _create_graph(self) -> None:
+        try:
+            body = self._read_body()
+            unknown = sorted(set(body) - self._GRAPH_FIELDS)
+            if unknown:
+                raise ServiceError(
+                    f"unknown graph-session field(s) "
+                    f"{', '.join(map(repr, unknown))}; valid: "
+                    f"{', '.join(sorted(self._GRAPH_FIELDS))}"
+                )
+            if not body.get("graph"):
+                raise ServiceError("graph session needs a 'graph' source")
+            session = self.service.create_graph(
+                body["graph"],
+                method=str(body.get("method") or "proposed"),
+                options=dict(body.get("options") or {}),
+                label=body.get("label"),
+                drift_budget=float(
+                    32.0 if body.get("drift_budget") is None
+                    else body["drift_budget"]
+                ),
+                locality_beta=int(
+                    2 if body.get("locality_beta") is None
+                    else body["locality_beta"]
+                ),
+            )
+        except WorkerCrashError as exc:
+            self._error(503, f"{type(exc).__name__}: {exc}")
+        except ServiceUnavailableError as exc:
+            self._error(503, str(exc))
+        except PayloadTooLargeError as exc:
+            self._error(413, str(exc))
+        except (ServiceError, UnknownMethodError, UnknownOptionError,
+                TypeError, ValueError) as exc:
+            self._error(400, str(exc))
+        except ReproError as exc:
+            self._error(400, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send_json(session, status=201)
+
     def do_PUT(self) -> None:
         self._method_not_allowed("PUT")
 
     def do_PATCH(self) -> None:
-        self._method_not_allowed("PATCH")
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 3 and parts[0] == "graphs" \
+                and parts[2] == "edges":
+            self._with_graph(parts[1], self._patch_graph)
+        else:
+            # PATCH on anything but a graph session's edge collection
+            # keeps the documented 405 contract.
+            self._method_not_allowed("PATCH")
+
+    def _patch_graph(self, graph_id: str) -> None:
+        try:
+            outcome = self.service.patch_graph(
+                graph_id, batch=self._read_body()
+            )
+        except WorkerCrashError as exc:
+            self._error(503, f"{type(exc).__name__}: {exc}")
+        except ServiceUnavailableError as exc:
+            self._error(503, str(exc))
+        except PayloadTooLargeError as exc:
+            self._error(413, str(exc))
+        except (ServiceError, TypeError, ValueError) as exc:
+            self._error(400, str(exc))
+        except ReproError as exc:
+            self._error(400, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send_json(outcome)
+
+    def _send_graph_sparsifier(self, graph_id: str) -> None:
+        try:
+            outcome = self.service.graph_sparsifier(graph_id)
+        except WorkerCrashError as exc:
+            self._error(503, f"{type(exc).__name__}: {exc}")
+        except ServiceError as exc:
+            self._error(400, str(exc))
+        except ReproError as exc:
+            self._error(400, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send_json(outcome)
 
     def _method_not_allowed(self, verb: str) -> None:
         """A *known path* reached with an unsupported verb is a 405
@@ -247,6 +374,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:
         parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 2 and parts[0] == "graphs":
+            self._with_graph(parts[1], lambda gid: self._send_json(
+                self.service.delete_graph(gid)))
+            return
         if len(parts) != 2 or parts[0] != "jobs":
             self._error(404, f"no such endpoint: DELETE {self.path}")
             return
@@ -269,6 +400,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, str(exc))
             return
         action(job)
+
+    def _with_graph(self, graph_id: str, action) -> None:
+        try:
+            self.service.graph_session(graph_id)
+        except ServiceError as exc:
+            self._error(404, str(exc))
+            return
+        action(graph_id)
 
     def _send_result(self, job) -> None:
         if job.status == "done":

@@ -43,10 +43,22 @@ process that dies mid-job (:class:`~repro.exceptions.WorkerCrashError`)
 is retried up to ``retries`` times on a fresh worker before the job
 fails; deduplicated followers of a permanently-crashed primary are
 promoted to run for themselves rather than inheriting the crash.
+
+Besides one-shot jobs, the service hosts **evolving-graph sessions**
+(:meth:`SparsifierService.create_graph` /
+:meth:`~SparsifierService.patch_graph` /
+:meth:`~SparsifierService.graph_sparsifier` — the ``/graphs`` HTTP
+surface): a mutable :class:`~repro.incremental.EvolvingSparsifier`
+kept alive under edge-mutation batches instead of re-submitting a full
+job per change.  The scheduler records each session's source and its
+ledger of applied batches; the live state lives in the execution
+backend and is replayed deterministically from that ledger whenever
+its holder is lost (LRU eviction, a crashed worker process).
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 import threading
@@ -55,6 +67,7 @@ from collections import Counter, OrderedDict
 
 from repro.core.parallel import resolve_workers
 from repro.exceptions import (
+    IncrementalError,
     ServiceError,
     ServiceUnavailableError,
     WorkerCrashError,
@@ -72,6 +85,80 @@ class _SessionSlot:
     def __init__(self, session) -> None:
         self.session = session
         self.lock = threading.Lock()
+
+
+def _redacted_source(source: dict) -> dict:
+    """A graph-source dict with inline MTX text digested out (the
+    same shape :meth:`~repro.service.jobs.JobSpec.to_dict` ships)."""
+    if not source.get("mtx"):
+        return dict(source)
+    redacted = dict(source)
+    redacted["mtx_sha256"] = hashlib.sha256(
+        redacted["mtx"].encode()
+    ).hexdigest()
+    redacted["mtx_chars"] = len(redacted.pop("mtx"))
+    return redacted
+
+
+class _GraphSlot:
+    """One evolving-graph session the scheduler tracks.
+
+    The scheduler side holds the *durable* description — graph source,
+    resolved config, and the ledger of successfully applied batches —
+    while the live :class:`~repro.incremental.EvolvingSparsifier` lives
+    in the execution backend (in-process for threads, inside the
+    fingerprint-pinned worker for processes).  The ledger travels with
+    every op, so any holder can replay the session deterministically.
+    The per-slot lock serializes ops on one session; distinct sessions
+    mutate concurrently.
+    """
+
+    def __init__(self, graph_id: str, *, source: dict, seed: int,
+                 fingerprint: str, method: str, options: dict,
+                 label: str, drift_budget: float,
+                 locality_beta: int) -> None:
+        self.id = graph_id
+        self.source = source
+        self.seed = seed
+        self.fingerprint = fingerprint
+        self.method = method
+        self.options = options
+        self.label = label
+        self.drift_budget = drift_budget
+        self.locality_beta = locality_beta
+        self.ledger: list = []          # applied batches, wire format
+        self.summary: dict = {}         # last summary the backend sent
+        self.created_at = time.time()
+        self.lock = threading.Lock()
+
+    def payload(self, op: str, **extra) -> dict:
+        """The serialized op the execution backend receives."""
+        data = {
+            "op": op,
+            "graph_id": self.id,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+            "seed": self.seed,
+            "method": self.method,
+            "options": self.options,
+            "label": self.label,
+            "drift_budget": self.drift_budget,
+            "locality_beta": self.locality_beta,
+            "ledger": list(self.ledger),
+        }
+        data.update(extra)
+        return data
+
+    def describe(self) -> dict:
+        """The JSON shape ``GET /graphs`` rows carry."""
+        return {
+            "id": self.id,
+            "source": _redacted_source(self.source),
+            "created_at": self.created_at,
+            "drift_budget": self.drift_budget,
+            "locality_beta": self.locality_beta,
+            "summary": dict(self.summary),
+        }
 
 
 class SparsifierService:
@@ -180,6 +267,8 @@ class SparsifierService:
         # they finish, so eviction here can never strand a queued job.
         self._graphs: "OrderedDict" = OrderedDict()
         self._sessions: "OrderedDict[str, _SessionSlot]" = OrderedDict()
+        self._graph_sessions: "OrderedDict[str, _GraphSlot]" = OrderedDict()
+        self._graph_seq = itertools.count(1)  # graph-session ids
         self._running: set = set()
         self._threads: list = []
         self._accepting = True
@@ -194,6 +283,8 @@ class SparsifierService:
         self.submitted = 0
         #: Worker-process crashes observed (each one rebuilt a pool).
         self.worker_restarts = 0
+        #: Edge-mutation batches applied across all graph sessions.
+        self.graph_patches = 0
         #: Disk-cache counter deltas reported by worker processes —
         #: their sessions live out-of-process, so /stats aggregates
         #: these instead of reading the sessions directly.
@@ -411,6 +502,187 @@ class SparsifierService:
             return entry
 
     # ------------------------------------------------------------------
+    # evolving-graph sessions
+    # ------------------------------------------------------------------
+    def create_graph(self, graph_source: dict, *,
+                     method: str = "proposed",
+                     options: dict | None = None,
+                     label: str | None = None,
+                     drift_budget: float = 32.0,
+                     locality_beta: int = 2) -> dict:
+        """Open a mutable graph session; return its description.
+
+        Loads the graph source now (like :meth:`submit`), runs the
+        base full build on the execution backend, and registers the
+        session under a fresh ``graph-NNNNNN`` id for later
+        :meth:`patch_graph` / :meth:`graph_sparsifier` calls.  The
+        method must carry the ``supports_incremental`` capability.
+
+        Raises
+        ------
+        repro.exceptions.IncrementalError
+            When the method cannot be maintained incrementally, or the
+            drift/locality knobs are out of range.
+        repro.exceptions.ServiceError
+            For a malformed graph source, or when ``max_sessions``
+            live graph sessions already exist (delete one first).
+        """
+        from repro.api import get_method, sparsifier_methods
+        from repro.core.diskcache import graph_fingerprint
+
+        options = dict(options or {})
+        spec = get_method(method)
+        if not spec.supports_incremental:
+            capable = sorted(
+                name for name, other in sparsifier_methods().items()
+                if other.supports_incremental
+            )
+            raise IncrementalError(
+                f"method {method!r} does not support incremental "
+                "updates; methods with the supports_incremental "
+                f"capability: {', '.join(capable)}"
+            )
+        spec.make_config(**options)
+        seed = int(graph_source.get("seed", options.get("seed", 0)))
+        source_key = (graph_source_key(graph_source), seed)
+        graph, default_label = self._load_graph(
+            source_key, graph_source, seed
+        )
+        fingerprint = graph_fingerprint(graph)
+        resolved_label = label if label is not None else default_label
+        with self._cond:
+            if not self._accepting:
+                raise ServiceUnavailableError(
+                    "service is shutting down and no longer accepts "
+                    "graph sessions"
+                )
+            if len(self._graph_sessions) >= self.max_sessions:
+                raise ServiceError(
+                    f"graph-session limit reached ({self.max_sessions} "
+                    "live sessions); delete one (DELETE /graphs/<id>) "
+                    "or raise max_sessions"
+                )
+            slot = _GraphSlot(
+                f"graph-{next(self._graph_seq):06d}",
+                source=dict(graph_source), seed=seed,
+                fingerprint=fingerprint, method=str(method),
+                options=options, label=resolved_label,
+                drift_budget=float(drift_budget),
+                locality_beta=int(locality_beta),
+            )
+            self._graph_sessions[slot.id] = slot
+        try:
+            with slot.lock:
+                outcome = self._graph_op(slot.payload("create"))
+                slot.summary = outcome["summary"]
+        except Exception:
+            # A failed base build (bad knobs, crashed worker beyond
+            # retries) must not leave a half-open session behind.
+            with self._cond:
+                self._graph_sessions.pop(slot.id, None)
+            raise
+        return slot.describe()
+
+    def patch_graph(self, graph_id: str, batch: dict | None = None, *,
+                    inserts=(), deletes=()) -> dict:
+        """Apply one edge-mutation batch to a live graph session.
+
+        The batch is validated and canonicalized here (shape errors
+        fail before touching the backend); content errors — deleting
+        an absent edge, inserting an existing one — surface as
+        :class:`~repro.exceptions.IncrementalError` from the backend
+        with the session state unchanged, and only successful batches
+        enter the replay ledger.  Returns ``{"id", "entry",
+        "summary"}`` where ``entry`` is the per-batch
+        :class:`~repro.incremental.DeltaRecord` line (including
+        ``rebuild``/``drift_estimate``).
+        """
+        from repro.incremental import normalize_batch
+
+        slot = self._graph_slot(graph_id)
+        wire = normalize_batch(inserts, deletes, batch=batch).to_dict()
+        with self._cond:
+            if not self._accepting:
+                raise ServiceUnavailableError(
+                    "service is shutting down and no longer accepts "
+                    "graph mutations"
+                )
+        with slot.lock:
+            outcome = self._graph_op(slot.payload("patch", batch=wire))
+            slot.ledger.append(wire)
+            slot.summary = outcome["summary"]
+        with self._cond:
+            self.graph_patches += 1
+        return {"id": slot.id, "entry": outcome["entry"],
+                "summary": outcome["summary"]}
+
+    def graph_sparsifier(self, graph_id: str) -> dict:
+        """The current sparsifier of a live graph session.
+
+        Returns ``{"id", "summary", "record", "delta"}``: the last
+        full build's :class:`~repro.api.records.RunRecord` dict plus
+        the whole per-batch
+        :class:`~repro.incremental.DeltaRecord` trail.
+        """
+        slot = self._graph_slot(graph_id)
+        with slot.lock:
+            outcome = self._graph_op(slot.payload("export"))
+            slot.summary = outcome["summary"]
+        return {"id": slot.id, **outcome}
+
+    def graph_session(self, graph_id: str) -> dict:
+        """One graph session's description; ServiceError if absent."""
+        return self._graph_slot(graph_id).describe()
+
+    def graph_sessions(self) -> list:
+        """Every live graph session, in creation order."""
+        with self._cond:
+            slots = list(self._graph_sessions.values())
+        return [slot.describe() for slot in slots]
+
+    def delete_graph(self, graph_id: str) -> dict:
+        """Close a graph session, freeing its slot and backend state."""
+        slot = self._graph_slot(graph_id)
+        with slot.lock:
+            with self._cond:
+                self._graph_sessions.pop(graph_id, None)
+            try:
+                self._graph_op(slot.payload("delete"))
+            except (ServiceError, WorkerCrashError):
+                # Backend state rebuilds from the ledger on demand
+                # anyway; a dead or closed worker must not block
+                # freeing the slot.
+                pass
+        return {"id": slot.id, "deleted": True,
+                "summary": dict(slot.summary)}
+
+    def _graph_slot(self, graph_id: str) -> _GraphSlot:
+        with self._cond:
+            slot = self._graph_sessions.get(graph_id)
+        if slot is None:
+            raise ServiceError(f"unknown graph id {graph_id!r}")
+        return slot
+
+    def _graph_op(self, payload: dict) -> dict:
+        """Run one graph-session op on the backend, retrying crashes.
+
+        Mirrors :meth:`_run_job`: a worker process that died mid-op is
+        retried on a fresh worker up to ``retries`` times — the
+        payload's ledger lets the fresh worker replay the session
+        first, so the retry is exact.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._backend.graph_op(payload)
+            except WorkerCrashError:
+                with self._cond:
+                    self.worker_restarts += 1
+                if attempt > self.retries:
+                    raise
+
+    # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def job(self, job_id: str) -> Job:
@@ -526,6 +798,8 @@ class SparsifierService:
                 "worker_restarts": self.worker_restarts,
                 "accepting": self._accepting,
                 "sessions": len(self._sessions),
+                "graph_sessions": len(self._graph_sessions),
+                "graph_patches": self.graph_patches,
                 "uptime_seconds": time.time() - self.started_at,
             }
         cache = {

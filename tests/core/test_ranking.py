@@ -250,3 +250,130 @@ class TestBallCache:
         assert np.array_equal(
             warm.score_batch(remaining), cold.score_batch(remaining)
         )
+
+
+class TestBallCacheMutation:
+    """The evolving-graph contract: stale entries must never survive."""
+
+    def _tree_cache(self, graph, beta=3):
+        forest = RootedForest(graph, mewst(graph))
+        mask = forest.tree_edge_mask().copy()
+        sub = graph.subgraph(mask)
+        cache = BallCache(beta)
+        indptr, nbr, _ = sub.adjacency()
+        cache.attach_subgraph(indptr, nbr)
+        return cache, mask
+
+    def test_changed_adjacency_without_invalidate_raises(self, small_grid):
+        """Regression for the documented silent-staleness hazard:
+
+        re-attaching a *changed* adjacency while entries are cached
+        must raise instead of silently serving stale balls."""
+        graph = small_grid
+        cache, mask = self._tree_cache(graph)
+        cache.ensure_balls(range(graph.n))
+        assert len(cache) == graph.n
+        off = np.flatnonzero(~mask)
+        mask[off[0]] = True
+        indptr2, nbr2, _ = graph.subgraph(mask).adjacency()
+        with pytest.raises(ValueError, match="invalidate"):
+            cache.attach_subgraph(indptr2, nbr2)
+        # The touched set makes the same attach legal...
+        touched = [int(graph.u[off[0]]), int(graph.v[off[0]])]
+        cache.attach_subgraph(indptr2, nbr2, invalidate=touched)
+        # ... and re-attaching an UNCHANGED adjacency never needs one.
+        cache.attach_subgraph(indptr2, nbr2)
+
+    def test_changed_adjacency_with_empty_cache_is_fine(self, small_grid):
+        graph = small_grid
+        cache, mask = self._tree_cache(graph)
+        off = np.flatnonzero(~mask)
+        mask[off[0]] = True
+        indptr2, nbr2, _ = graph.subgraph(mask).adjacency()
+        cache.attach_subgraph(indptr2, nbr2)  # nothing cached yet
+
+    def test_deletion_invalidation_matches_fresh_cache(self, small_mesh):
+        """Warm scores after edge *deletions* == cold-cache scores.
+
+        Deletions grow distances, so only the OLD adjacency's balls
+        reach every entry whose routes ran through the removed edges —
+        the direction the insert-shaped test above cannot catch."""
+        graph = small_mesh
+        shift = regularization_shift(graph)
+        forest = RootedForest(graph, mewst(graph))
+        mask = forest.tree_edge_mask().copy()
+        off = np.flatnonzero(~mask)
+        extra = off[:8]          # densify, then delete a few of these
+        mask[extra] = True
+        beta = 4
+
+        cache = BallCache(beta)
+        sub1 = graph.subgraph(mask)
+        f1 = cholesky(regularized_laplacian(sub1, shift))
+        Z1 = sparse_approximate_inverse(f1.L, delta=0.1)
+        indptr1, nbr1, _ = sub1.adjacency()
+        cache.attach_subgraph(indptr1, nbr1)
+        ranker1 = ApproxRanker(graph, sub1, f1, Z1, beta=beta,
+                               cache=cache)
+        ranker1.score_batch(off[8:])
+        assert len(cache) > 0
+
+        deleted = extra[:4]
+        mask[deleted] = False
+        touched = np.unique(
+            np.concatenate([graph.u[deleted], graph.v[deleted]])
+        )
+        remaining = np.flatnonzero(~mask)
+
+        sub2 = graph.subgraph(mask)
+        f2 = cholesky(regularized_laplacian(sub2, shift))
+        Z2 = sparse_approximate_inverse(f2.L, delta=0.1)
+        indptr2, nbr2, _ = sub2.adjacency()
+        cache.attach_subgraph(indptr2, nbr2, invalidate=touched)
+        warm = ApproxRanker(graph, sub2, f2, Z2, beta=beta, cache=cache)
+        cold = ApproxRanker(graph, sub2, f2, Z2, beta=beta)
+        assert np.array_equal(
+            warm.score_batch(remaining), cold.score_batch(remaining)
+        )
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(0, 2**16), beta=st.integers(1, 3),
+           n_delete=st.integers(1, 6))
+    def test_property_delta_balls_match_cold_rebuild(self, seed, beta,
+                                                     n_delete):
+        """Every ball served after invalidate= equals a cold cache's.
+
+        Random mixed batches (deletions of kept off-tree edges plus
+        wedge re-insertions) against a grid: the delta-path cache must
+        be indistinguishable from one built fresh on the new adjacency.
+        """
+        graph = grid2d(7, 7, weights="uniform", seed=seed % 1000)
+        rng = np.random.default_rng(seed)
+        forest = RootedForest(graph, mewst(graph))
+        mask = forest.tree_edge_mask().copy()
+        off = np.flatnonzero(~mask)
+        keep = rng.choice(off, size=min(10, len(off)), replace=False)
+        mask[keep] = True
+
+        cache = BallCache(beta)
+        indptr, nbr, _ = graph.subgraph(mask).adjacency()
+        cache.attach_subgraph(indptr, nbr)
+        cache.ensure_balls(range(graph.n))
+
+        mutated = rng.choice(keep, size=min(n_delete, len(keep)),
+                             replace=False)
+        mask[mutated] = False
+        readd = mutated[: len(mutated) // 2]
+        mask[readd] = True       # delete + re-insert in one batch
+        touched = np.unique(np.concatenate(
+            [graph.u[mutated], graph.v[mutated]]
+        ))
+        indptr2, nbr2, _ = graph.subgraph(mask).adjacency()
+        cache.attach_subgraph(indptr2, nbr2, invalidate=touched)
+
+        fresh = BallCache(beta)
+        fresh.attach_subgraph(indptr2, nbr2)
+        for node in range(graph.n):
+            assert np.array_equal(cache.ball(node), fresh.ball(node)), (
+                f"stale ball at node {node}"
+            )

@@ -1,0 +1,210 @@
+"""Tests for the evolving sparsifier (repro.incremental.evolving)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import sparsify as api_sparsify
+from repro.api.records import RunRecord
+from repro.core.metrics import evaluate_sparsifier
+from repro.exceptions import IncrementalError
+from repro.graph import grid2d
+from repro.incremental import EvolvingSparsifier, sparsify_delta
+
+OPTIONS = {"edge_fraction": 0.2}
+
+
+def _evolving(graph, **overrides):
+    kwargs = {**OPTIONS, **overrides}
+    return EvolvingSparsifier(graph, "proposed", **kwargs)
+
+
+def _is_spanning_forest(n, pairs):
+    """True when *pairs* form a cycle-free cover of all *n* nodes."""
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in pairs:
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return False  # cycle
+        parent[ru] = rv
+    return len(pairs) == n - 1  # spanning (graph is connected)
+
+
+class TestLifecycle:
+    def test_base_build_matches_direct_sparsify(self, small_grid):
+        evolving = _evolving(small_grid)
+        # The evolving state holds a canonically (u, v)-sorted
+        # materialization of the edge map; the direct run must see the
+        # same graph object to be fingerprint-comparable.
+        direct = RunRecord.from_result(
+            api_sparsify(evolving.graph, "proposed", **OPTIONS),
+            method="proposed",
+        )
+        assert evolving.base_record.fingerprint() == direct.fingerprint()
+
+    def test_apply_batch_mutates_graph(self, small_grid):
+        evolving = _evolving(small_grid)
+        before = small_grid.edge_count
+        entry = evolving.apply_batch(inserts=[(0, 27, 1.0)],
+                                     deletes=[(0, 1)])
+        assert evolving.graph.edge_count == before
+        assert (0, 27) in evolving._edges
+        assert (0, 1) not in evolving._edges
+        assert entry["inserted"] == 1 and entry["deleted"] == 1
+        assert entry["touched_nodes"] >= 3
+        assert evolving.record.batches == 1
+
+    def test_delete_then_insert_reweights_in_one_batch(self, small_grid):
+        evolving = _evolving(small_grid)
+        evolving.apply_batch(inserts=[(0, 1, 9.0)], deletes=[(0, 1)])
+        assert evolving._edges[(0, 1)] == 9.0
+
+    def test_rejects_duplicate_insert_and_absent_delete(self, small_grid):
+        evolving = _evolving(small_grid)
+        with pytest.raises(IncrementalError, match="already exists"):
+            evolving.apply_batch(inserts=[(0, 1, 1.0)])
+        with pytest.raises(IncrementalError, match="absent edge"):
+            evolving.apply_batch(deletes=[(0, 27)])
+        # A rejected batch must not modify the graph or the log.
+        assert evolving.graph.edge_count == small_grid.edge_count
+        assert evolving.record.batches == 0
+
+    def test_rejects_non_incremental_method(self, small_grid):
+        with pytest.raises(IncrementalError,
+                           match="does not support incremental"):
+            EvolvingSparsifier(small_grid, "grass", **OPTIONS)
+
+    def test_rejects_bad_knobs(self, small_grid):
+        with pytest.raises(IncrementalError, match="drift_budget"):
+            _evolving(small_grid, drift_budget=1.0)
+        with pytest.raises(IncrementalError, match="locality_beta"):
+            _evolving(small_grid, locality_beta=0)
+
+
+class TestForestMaintenance:
+    def test_forest_survives_tree_edge_deletion(self, small_grid):
+        evolving = _evolving(small_grid)
+        u, v = evolving.forest_edges[0]
+        entry = evolving.apply_batch(deletes=[(u, v)])
+        assert (u, v) not in evolving.forest_edges
+        assert _is_spanning_forest(small_grid.n, evolving.forest_edges)
+        assert entry["forest_replacements"] >= 1 or entry["rebuild"]
+
+    def test_forest_absorbs_inserted_edges_across_deletions(self,
+                                                            small_grid):
+        evolving = _evolving(small_grid)
+        for batch in ([(0, 27, 1.0)], [(5, 40, 2.0)]):
+            evolving.apply_batch(inserts=batch)
+        pairs = {(u, v) for u, v, _ in
+                 [(0, 27, None), (5, 40, None)]}
+        evolving.apply_batch(deletes=sorted(pairs))
+        assert _is_spanning_forest(small_grid.n, evolving.forest_edges)
+
+    def test_forest_is_always_spanning_under_a_stream(self, medium_grid):
+        evolving = _evolving(medium_grid)
+        rng = np.random.default_rng(7)
+        inserted = []
+        for step in range(5):
+            u = int(rng.integers(0, medium_grid.n))
+            v = int((u + 21 + step) % medium_grid.n)
+            if u == v or (min(u, v), max(u, v)) in evolving._edges:
+                continue
+            pair = (min(u, v), max(u, v))
+            evolving.apply_batch(inserts=[(pair[0], pair[1], 1.0)])
+            inserted.append(pair)
+        for pair in inserted[:2]:
+            evolving.apply_batch(deletes=[pair])
+        assert _is_spanning_forest(medium_grid.n,
+                                   evolving.forest_edges)
+
+
+class TestRebuildAndDrift:
+    def test_forced_rebuild_is_fingerprint_identical(self, small_grid):
+        evolving = _evolving(small_grid)
+        evolving.apply_batch(inserts=[(0, 27, 1.0)], deletes=[(0, 1)])
+        record = evolving.rebuild()
+        direct = RunRecord.from_result(
+            api_sparsify(evolving.graph, "proposed", **OPTIONS),
+            method="proposed",
+        )
+        assert record.fingerprint() == direct.fingerprint()
+        assert evolving.base_record is record
+        assert evolving.record.entries[-1]["rebuild"] is True
+
+    def test_tiny_budget_forces_rebuild(self, small_grid):
+        evolving = _evolving(small_grid, drift_budget=1.0 + 1e-9)
+        entry = evolving.apply_batch(inserts=[(0, 27, 5.0)],
+                                     deletes=[(0, 1)])
+        assert entry["rebuild"] is True
+        assert evolving.drift_estimate == 1.0  # reset by the rebuild
+
+    def test_rebuild_refreshes_base_record(self, small_grid):
+        evolving = _evolving(small_grid, drift_budget=1.0 + 1e-9)
+        stale = evolving.base_record
+        evolving.apply_batch(inserts=[(0, 27, 5.0)], deletes=[(0, 1)])
+        assert evolving.base_record is not stale
+
+    def test_drift_estimate_grows_monotonically_between_rebuilds(
+            self, small_grid):
+        evolving = _evolving(small_grid, drift_budget=1e9)
+        last = evolving.drift_estimate
+        for pair in ((0, 27), (3, 44), (10, 61)):
+            evolving.apply_batch(inserts=[(pair[0], pair[1], 1.0)])
+            assert evolving.drift_estimate >= last
+            last = evolving.drift_estimate
+
+    def test_kappa_stays_within_drift_budget_of_scratch(self,
+                                                        medium_grid):
+        """The acceptance bound: after any batch sequence the kept
+
+        sparsifier's kappa is within the drift budget of a
+        from-scratch run on the same mutated graph."""
+        evolving = _evolving(medium_grid)
+        rng = np.random.default_rng(3)
+        for _ in range(4):
+            u = int(rng.integers(0, medium_grid.n))
+            v = int((u + 19) % medium_grid.n)
+            pair = (min(u, v), max(u, v))
+            if u == v or pair in evolving._edges:
+                continue
+            evolving.apply_batch(inserts=[(pair[0], pair[1], 1.0)])
+        kappa = evaluate_sparsifier(
+            evolving.graph, evolving.sparsifier
+        ).kappa
+        scratch = api_sparsify(evolving.graph, "proposed", **OPTIONS)
+        kappa_scratch = evaluate_sparsifier(
+            evolving.graph, scratch.sparsifier
+        ).kappa
+        assert kappa <= evolving.drift_budget * kappa_scratch
+
+
+class TestFacade:
+    def test_sparsify_delta_replays_batches(self):
+        ev = repro.sparsify_delta(
+            grid2d(8, 8, weights="uniform", seed=11),
+            batches=[
+                {"insert": [[0, 27, 1.0]], "delete": [[0, 1]]},
+                {"insert": [[5, 40, 2.0]]},
+            ],
+            edge_fraction=0.2,
+        )
+        assert ev.record.batches == 2
+        assert ev.sparsifier.edge_count > 0
+
+    def test_facade_is_exported(self):
+        assert repro.sparsify_delta is sparsify_delta
+
+    def test_registry_capability_flag(self):
+        from repro.api import sparsifier_methods
+
+        flags = {name: spec.supports_incremental
+                 for name, spec in sparsifier_methods().items()}
+        assert flags["proposed"] is True
+        assert flags["grass"] is False

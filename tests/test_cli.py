@@ -292,3 +292,78 @@ def test_transient_json(capsys):
     assert payload["pcg"]["steps"] > 0
     assert payload["deviation_volts"] < 16e-3
     assert payload["sparsifier"]["method"] == "proposed"
+
+
+# ----------------------------------------------------------------------
+# evolving-graph service verbs (repro graphs / repro patch / repro jobs)
+# ----------------------------------------------------------------------
+def test_patch_requires_a_batch(capsys):
+    assert main(["patch", "--graph", "graph-000001"]) == 2
+    err = capsys.readouterr().err
+    assert "at least one --insert or --delete" in err
+
+
+def test_patch_rejects_malformed_edges(capsys):
+    assert main(["patch", "--graph", "g", "--insert", "0,1"]) == 2
+    assert "--insert takes U,V,W" in capsys.readouterr().err
+    assert main(["patch", "--graph", "g", "--insert", "a,b,c"]) == 2
+    assert "integer endpoints" in capsys.readouterr().err
+    assert main(["patch", "--graph", "g", "--delete", "0,1,2"]) == 2
+    assert "--delete takes U,V" in capsys.readouterr().err
+
+
+def test_jobs_status_flag_validates_choices():
+    with pytest.raises(SystemExit):
+        main(["jobs", "--status", "bogus"])
+
+
+def test_graphs_lifecycle_over_daemon(tmp_path, capsys):
+    from repro.service import ServiceDaemon
+
+    with ServiceDaemon(workers=1,
+                       cache_dir=tmp_path / "cache") as daemon:
+        url = daemon.url
+        assert main(["graphs", "--url", url, "--create",
+                     "--case", "ecology2", "--scale", "0.02",
+                     "--fraction", "0.15"]) == 0
+        assert "created graph-000001" in capsys.readouterr().out
+        assert main(["patch", "--url", url,
+                     "--graph", "graph-000001",
+                     "--insert", "0,37,1.0", "--delete", "0,1"]) == 0
+        out = capsys.readouterr().out
+        assert "graph-000001 batch 0" in out
+        assert "+1/-1 edges" in out
+        assert main(["graphs", "--url", url]) == 0
+        assert "graph-000001" in capsys.readouterr().out
+        assert main(["graphs", "--url", url,
+                     "--show", "graph-000001", "--json"]) == 0
+        import json as _json
+
+        export = _json.loads(capsys.readouterr().out)
+        assert set(export) == {"id", "summary", "record", "delta"}
+        assert main(["graphs", "--url", url,
+                     "--delete", "graph-000001"]) == 0
+        assert "deleted graph-000001" in capsys.readouterr().out
+        # Error surface: patching the deleted session is a 404.
+        assert main(["patch", "--url", url,
+                     "--graph", "graph-000001",
+                     "--insert", "0,37,1.0"]) == 2
+        assert "404" in capsys.readouterr().err
+
+
+def test_jobs_filters_over_daemon(tmp_path, capsys):
+    from repro.service import ServiceDaemon
+
+    with ServiceDaemon(workers=1,
+                       cache_dir=tmp_path / "cache") as daemon:
+        url = daemon.url
+        assert main(["submit", "--url", url, "--case", "ecology2",
+                     "--scale", "0.02", "--method", "grass",
+                     "--fraction", "0.1", "--wait"]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "--url", url, "--status", "done",
+                     "--limit", "5"]) == 0
+        assert "job-000001" in capsys.readouterr().out
+        assert main(["jobs", "--url", url,
+                     "--status", "queued"]) == 0
+        assert "job-000001" not in capsys.readouterr().out

@@ -62,6 +62,7 @@ def public_surface():
     import repro.api
     import repro.backends
     import repro.core.sharding
+    import repro.incremental
     import repro.service
     from repro.api.registry import get_method, list_methods
 
@@ -71,7 +72,7 @@ def public_surface():
         if not inspect.ismodule(obj):
             surface.append((f"repro.{name}", obj))
     for module in (repro.api, repro.backends, repro.core.sharding,
-                   repro.service):
+                   repro.incremental, repro.service):
         surface.append((module.__name__, module))
         for name in module.__all__:
             surface.append((f"{module.__name__}.{name}",
