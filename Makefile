@@ -4,7 +4,8 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke serve-smoke load-smoke incremental-smoke docs-check
+.PHONY: test bench-smoke serve-smoke load-smoke incremental-smoke \
+	kernels-smoke docs-check
 
 # Tier-1 gate: the full unit/property suite.
 test:
@@ -38,6 +39,13 @@ load-smoke:
 # BENCH_incremental.json.
 incremental-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_incremental.py --smoke
+
+# Kernel-tier sanity: every available repro.kernels tier must produce
+# bitwise-identical outputs on each hot-path kernel, and the fastest
+# non-reference tier must beat the pure-Python reference by >= 5x on
+# the scoring kernel.  Writes BENCH_kernels.json.
+kernels-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_kernels.py --smoke
 
 # The documentation gate: the generated API reference must match the
 # registries, the public API must be fully docstringed, and every

@@ -109,7 +109,7 @@ from repro.backends import (
     backend_capabilities,
 )
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "Graph",

@@ -50,12 +50,16 @@ def _strip_seconds(value):
     return value
 
 
-def capture_environment(backend: str | None = None) -> dict:
+def capture_environment(backend: str | None = None,
+                        kernels: str | None = None) -> dict:
     """Versions that determine a run's numerics (for provenance).
 
     When *backend* names a linalg backend, the dict also records the
     backend and its capability flags — so a ``BENCH_*.json`` trajectory
-    shows which execution path produced each run.
+    shows which execution path produced each run.  When *kernels* names
+    a hot-path kernel tier (``"auto"`` included), the dict records the
+    **resolved** tier and its capability flags; tiers are bit-identical
+    by contract, so :meth:`RunRecord.fingerprint` excludes these keys.
     """
     import scipy
 
@@ -74,6 +78,14 @@ def capture_environment(backend: str | None = None) -> dict:
         environment["backend"] = str(backend)
         environment["backend_capabilities"] = (
             backend_capabilities().get(str(backend), {})
+        )
+    if kernels is not None:
+        from repro.kernels import kernel_capabilities, resolve_kernels
+
+        resolved = resolve_kernels(str(kernels))
+        environment["kernels"] = resolved
+        environment["kernel_capabilities"] = (
+            kernel_capabilities().get(resolved, {})
         )
     return environment
 
@@ -188,7 +200,9 @@ class RunRecord:
             timings=timings,
             environment=capture_environment(
                 backend=config.get("backend") if isinstance(config, dict)
-                else None
+                else None,
+                kernels=config.get("kernels") if isinstance(config, dict)
+                else None,
             ),
             sharding=_jsonify(getattr(result, "sharding", None)),
         )
@@ -243,12 +257,25 @@ class RunRecord:
         Two runs of the same configuration are *outcome*-identical when
         their fingerprints are equal — method, graph, config, quality,
         per-round log and environment all match bit for bit; only
-        elapsed-seconds measurements (which no two runs share) are
-        excluded.  This is the equality the artifact cache's
-        warm-equals-cold guarantee is stated in.
+        elapsed-seconds measurements (which no two runs share) and the
+        hot-path kernel tier (bit-identical across tiers by the
+        :mod:`repro.kernels` parity contract, so an execution detail
+        like thread count) are excluded.  This is the equality both the
+        artifact cache's warm-equals-cold guarantee and the kernel
+        layer's compiled-equals-reference guarantee are stated in.
         """
         data = self.to_dict()
         data.pop("timings", None)
+        # Copies: to_dict() shares the nested dicts with the record.
+        if isinstance(data.get("config"), dict):
+            data["config"] = {
+                k: v for k, v in data["config"].items() if k != "kernels"
+            }
+        if isinstance(data.get("environment"), dict):
+            data["environment"] = {
+                k: v for k, v in data["environment"].items()
+                if k not in ("kernels", "kernel_capabilities")
+            }
         if data.get("quality"):
             data["quality"] = {
                 k: v for k, v in data["quality"].items()

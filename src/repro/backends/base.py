@@ -78,12 +78,24 @@ class LinalgBackend:
         return True
 
     @classmethod
+    def supports_persistent_factors(cls) -> bool:
+        """Whether :meth:`factorize` output pickles with bitwise solves.
+
+        The disk artifact cache consults this before persisting a
+        factor.  The default returns the ``persistent_factors`` class
+        attribute; backends whose factor objects wrap third-party
+        handles (CHOLMOD) override it with a runtime probe so the flag
+        reports what the installed library actually supports.
+        """
+        return bool(cls.persistent_factors)
+
+    @classmethod
     def capabilities(cls) -> dict:
         """The backend's capability flags as a plain (JSON-safe) dict."""
         return {
             "available": bool(cls.is_available()),
             "compiled_factorization": bool(cls.compiled_factorization),
-            "persistent_factors": bool(cls.persistent_factors),
+            "persistent_factors": bool(cls.supports_persistent_factors()),
         }
 
     # ------------------------------------------------------------------
@@ -124,7 +136,8 @@ class LinalgBackend:
         """Preconditioned conjugate gradients (see :func:`repro.linalg.pcg`)."""
         return _pcg(A, b, M_solve=M_solve, **options)
 
-    def sketch_matvecs(self, factor, incidence, sketch_size: int, rng):
+    def sketch_matvecs(self, factor, incidence, sketch_size: int, rng,
+                       kernels=None):
         """The JL effective-resistance sketch of Spielman–Srivastava.
 
         Draws ``sketch_size`` Rademacher probe vectors from *rng* (one
@@ -133,19 +146,25 @@ class LinalgBackend:
         order — draw, then solve, row by row — is part of the contract:
         it determines the RNG stream position, which the
         effective-resistance sampler records for bit-exact warm runs.
+        The probe right-hand sides ``B^T W^{1/2} q_i`` go through the
+        active kernel tier's :meth:`~repro.kernels.KernelSet.probe_rhs`
+        (bit-identical across tiers by its accumulation-order contract).
 
         Returns
         -------
         numpy.ndarray
             ``(sketch_size, n)`` array of sketch rows.
         """
+        from repro.kernels import resolve_kernel_set  # deferred: cycle
+
+        probe_rhs = resolve_kernel_set(kernels).probe_rhs
         n = incidence.shape[1]
         m = incidence.shape[0]
         sketch = np.empty((sketch_size, n))
         scale = 1.0 / np.sqrt(sketch_size)
         for i in range(sketch_size):
             q = rng.choice((-scale, scale), size=m)
-            sketch[i] = factor.solve(incidence.T @ q)
+            sketch[i] = factor.solve(probe_rhs(incidence, q))
         return sketch
 
     def spai_columns(self, L, delta: float = 0.1, keep_threshold=None):

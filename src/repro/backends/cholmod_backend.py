@@ -8,6 +8,15 @@ import probe time — on machines without the library the backend stays
 registered but reports ``available=False`` and selecting it raises a
 :class:`~repro.exceptions.BackendError` naming the missing dependency
 (nothing is ever auto-installed).
+
+Factor persistence follows the same probe philosophy:
+:class:`CholmodFactor` implements pickling by delegating to the
+wrapped ``sksparse`` factor, and
+:meth:`CholmodBackend.supports_persistent_factors` round-trips a tiny
+factor at first call to report truthfully whether the installed
+library pickles with bit-identical solves — so the ``persistent_factors``
+capability flag (and with it the disk artifact cache's decision to
+persist ``factor_g``) reflects this machine, not an assumption.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ __all__ = ["CholmodBackend", "CholmodFactor"]
 
 _CHOLMOD = None
 _PROBED = False
+_PERSISTENT: bool | None = None
 
 
 def _cholmod_module():
@@ -72,6 +82,18 @@ class CholmodFactor:
         """Return ``M_solve(r) = A^{-1} r`` for PCG preconditioning."""
         return self.solve
 
+    def __getstate__(self) -> dict:
+        """Pickle only the wrapped CHOLMOD factor.
+
+        ``L``/``perm``/``iperm`` are derived views; rebuilding them in
+        :meth:`__setstate__` keeps the pickle minimal and guarantees
+        the restored wrapper is internally consistent.
+        """
+        return {"factor": self._factor}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["factor"])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CholmodFactor(n={self.n}, nnz={self.nnz})"
 
@@ -88,6 +110,44 @@ class CholmodBackend(LinalgBackend):
     def is_available(cls) -> bool:
         """True when ``sksparse.cholmod`` imports on this machine."""
         return _cholmod_module() is not None
+
+    @classmethod
+    def supports_persistent_factors(cls) -> bool:
+        """Probe (once) whether factors pickle with bitwise solves.
+
+        Factors a tiny SPD matrix, round-trips the
+        :class:`CholmodFactor` through pickle and compares a solve
+        bit for bit.  Anything short of a bitwise match — including a
+        pickle error from an older scikit-sparse — reports False, so
+        the disk cache never persists factors this library cannot
+        faithfully restore.
+        """
+        global _PERSISTENT
+        if _PERSISTENT is None:
+            if not cls.is_available():
+                return False  # leave unprobed: the library may appear
+            import io
+            import pickle
+
+            import scipy.sparse as sp
+
+            try:
+                matrix = sp.eye(3, format="csc") * 2.0
+                matrix = matrix + sp.diags([0.5, 0.5], offsets=1) \
+                    + sp.diags([0.5, 0.5], offsets=-1)
+                factor = cls().factorize(sp.csc_matrix(matrix))
+                rhs = np.arange(1.0, 4.0)
+                expected = factor.solve(rhs)
+                buffer = io.BytesIO()
+                pickle.dump(factor, buffer)
+                buffer.seek(0)
+                restored = pickle.load(buffer)
+                _PERSISTENT = bool(
+                    np.array_equal(restored.solve(rhs), expected)
+                )
+            except Exception:  # pragma: no cover - library-dependent
+                _PERSISTENT = False
+        return _PERSISTENT
 
     def factorize(self, matrix, mode: str = "auto"):
         """Factor through CHOLMOD (``mode`` is ignored: one path)."""

@@ -78,6 +78,14 @@ class BaseSparsifierConfig:
         the spectrally safe choice; ``"sample"`` keeps a per-component
         connectivity backbone plus a leverage-biased sample of the
         rest (smaller output, looser spectral guarantee).
+    kernels : str
+        Hot-path kernel tier executing the scoring / BFS / gather
+        loops: ``"auto"`` (default; honors ``REPRO_KERNELS`` and picks
+        the best available tier), ``"vector"`` (numpy, the historical
+        path), ``"numba"`` (compiled fused loops, when installed) or
+        ``"python"`` (reference loops).  Every tier is bit-identical —
+        the choice never changes results, only speed.  See
+        :mod:`repro.kernels`.
     """
 
     edge_fraction: float = 0.10
@@ -85,6 +93,7 @@ class BaseSparsifierConfig:
     backend: str = "scipy"
     shards: int = 1
     boundary_policy: str = "keep"
+    kernels: str = "auto"
 
     def validate(self) -> None:
         """Raise on bad knobs (:class:`~repro.exceptions.GraphError`
@@ -101,14 +110,26 @@ class BaseSparsifierConfig:
             )
         # Deferred so this module stays import-light (module docstring).
         from repro.backends import check_backend
+        from repro.kernels import check_kernels
 
         check_backend(self.backend)
+        check_kernels(self.kernels)
 
     def resolve_backend(self):
         """The validated :class:`~repro.backends.LinalgBackend` instance."""
         from repro.backends import get_backend
 
         return get_backend(self.backend)
+
+    def resolve_kernels(self):
+        """The resolved :class:`~repro.kernels.KernelSet` instance.
+
+        ``"auto"`` resolves here (env override, then best available),
+        so every consumer in one run sees the same concrete tier.
+        """
+        from repro.kernels import get_kernels
+
+        return get_kernels(self.kernels)
 
     def to_dict(self) -> dict:
         """All options as a plain ``{name: value}`` dict (JSON-safe)."""

@@ -32,13 +32,13 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.core._kernels import ball_pair_edge_sum_flat, concat_ranges
 from repro.core.trace_reduction import exact_trace_reduction_batch
 from repro.core.tree_phase import tree_truncated_trace_reduction
 from repro.tree.lca import batch_tree_resistances
 from repro.graph.bfs import BallFinder
 from repro.graph.graph import Graph
 from repro.graph.laplacian import regularized_laplacian
+from repro.kernels import resolve_kernel_set
 from repro.linalg.cholesky import cholesky
 from repro.linalg.spai import extract_columns
 
@@ -108,6 +108,10 @@ class BallCache:
         being stored — slower, but memory stays bounded.  ``None``
         (default) means unbounded, which is at most one entry per
         graph node.
+    kernels : KernelSet or str, optional
+        Hot-path kernel tier executing the BFS expansion and bundle
+        gathers; defaults to the auto-resolved tier (see
+        :mod:`repro.kernels`).  Bit-identical across tiers.
 
     Notes
     -----
@@ -123,13 +127,15 @@ class BallCache:
     :meth:`ensure` share them copy-on-write without synchronization.
     """
 
-    def __init__(self, beta: int, max_entries: int | None = None) -> None:
+    def __init__(self, beta: int, max_entries: int | None = None,
+                 kernels=None) -> None:
         if beta < 1:
             raise ValueError(f"beta must be >= 1, got {beta}")
         if max_entries is not None and max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
         self.beta = int(beta)
         self.max_entries = max_entries
+        self.kernels = resolve_kernel_set(kernels)
         self._balls: dict = {}
         self._bundles: dict = {}
         self._finder: BallFinder | None = None
@@ -194,7 +200,7 @@ class BallCache:
                 "deleted edge), or an empty array if the change truly "
                 "touches no cached entry."
             )
-        self._finder = BallFinder(indptr, neighbors)
+        self._finder = BallFinder(indptr, neighbors, kernels=self.kernels)
         self._sub_indptr = indptr
         self._sub_nbr = neighbors
         if invalidate is None:
@@ -269,7 +275,7 @@ class BallCache:
         all_nodes = np.concatenate(ball_list)
         starts = self._g_indptr[all_nodes]
         lengths = self._g_indptr[all_nodes + 1] - starts
-        flat = concat_ranges(starts, lengths)
+        flat = self.kernels.concat_ranges(starts, lengths)
         sources = np.repeat(all_nodes, lengths)
         nbrs = self._g_nbr[flat]
         eids = self._g_eid[flat]
@@ -350,12 +356,17 @@ class TreePhaseRanker:
         Rooted spanning forest ``T`` (the initial subgraph).
     beta : int, optional
         BFS truncation depth (paper default 5).
+    kernels : KernelSet or str, optional
+        Hot-path kernel tier for the scoring loops; defaults to the
+        auto-resolved tier.  Bit-identical across tiers.
     """
 
-    def __init__(self, graph: Graph, forest, beta: int = 5) -> None:
+    def __init__(self, graph: Graph, forest, beta: int = 5,
+                 kernels=None) -> None:
         self.graph = graph
         self.forest = forest
         self.beta = int(beta)
+        self.kernels = resolve_kernel_set(kernels)
         self._resistances: np.ndarray | None = None
 
     def prepare(self, edge_ids) -> None:
@@ -401,7 +412,7 @@ class TreePhaseRanker:
         self.prepare(edge_ids)
         crit, _, _ = tree_truncated_trace_reduction(
             self.graph, self.forest, edge_ids=edge_ids, beta=self.beta,
-            resistances=self._resistances[edge_ids],
+            resistances=self._resistances[edge_ids], kernels=self.kernels,
         )
         return crit
 
@@ -475,6 +486,11 @@ class ApproxRanker:
         Cross-round ball cache.  When supplied it must already be
         attached to *subgraph*'s adjacency (the sparsifier driver owns
         invalidation); when omitted a private cache is created.
+    kernels : KernelSet or str, optional
+        Hot-path kernel tier executing the per-candidate scoring loop
+        (SPAI gathers, ball selection, the restricted quadratic form);
+        defaults to the auto-resolved tier.  Bit-identical across
+        tiers, so the choice never changes scores — only speed.
 
     Notes
     -----
@@ -487,17 +503,18 @@ class ApproxRanker:
 
     def __init__(
         self, graph: Graph, subgraph: Graph, factor, Z,
-        beta: int = 5, cache: BallCache | None = None,
+        beta: int = 5, cache: BallCache | None = None, kernels=None,
     ) -> None:
         self.graph = graph
         self.beta = int(beta)
+        self.kernels = resolve_kernel_set(kernels)
         self._iperm = np.asarray(factor.iperm, dtype=np.int64)
         self._Z = Z
         self._z_indptr = Z.indptr
         self._z_indices = Z.indices.astype(np.int64)
         self._z_data = Z.data
         if cache is None:
-            cache = BallCache(beta)
+            cache = BallCache(beta, kernels=self.kernels)
         if cache.beta != self.beta:
             raise ValueError(
                 f"cache radius {cache.beta} != ranker beta {self.beta}"
@@ -537,7 +554,8 @@ class ApproxRanker:
         if not missing:
             return
         indptr, rows, vals = extract_columns(
-            self._Z, self._iperm[np.asarray(missing, dtype=np.int64)]
+            self._Z, self._iperm[np.asarray(missing, dtype=np.int64)],
+            kernels=self.kernels,
         )
         for k, node in enumerate(missing):
             lo, hi = indptr[k], indptr[k + 1]
@@ -578,6 +596,8 @@ class ApproxRanker:
         u_dense = self._u_dense
         s_dense = self._s_dense
         in_q_stamp = self._in_q_stamp
+        concat_ranges = self.kernels.concat_ranges
+        ball_pair_edge_sum_flat = self.kernels.ball_pair_edge_sum_flat
         out = np.empty(len(edge_ids))
 
         for k in range(len(edge_ids)):

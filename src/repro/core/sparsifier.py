@@ -289,6 +289,7 @@ def _run(graph: Graph, config: SparsifierConfig,
     n = graph.n
     m = graph.edge_count
     backend = config.resolve_backend()
+    kernels = config.resolve_kernels()
     shift = shared_artifact(
         artifacts, "shift", (config.reg_rel,),
         lambda: regularization_shift(graph, config.reg_rel),
@@ -323,7 +324,9 @@ def _run(graph: Graph, config: SparsifierConfig,
                 # off-tree edges and scores are worker-count invariant,
                 # so a session can share them across fraction sweeps.
                 cand = np.flatnonzero(~edge_mask)
-                ranker = TreePhaseRanker(graph, forest, beta=config.beta)
+                ranker = TreePhaseRanker(
+                    graph, forest, beta=config.beta, kernels=kernels
+                )
                 scores = score_edges(
                     ranker, cand,
                     workers=config.workers, chunk_size=config.chunk_size,
@@ -357,7 +360,9 @@ def _run(graph: Graph, config: SparsifierConfig,
         # Steps 11-23: iterative densification with Eq. (20).  The ball
         # cache outlives each round: only nodes near edges recovered in
         # the previous round have their balls invalidated.
-        cache = BallCache(config.beta, max_entries=config.cache_max_nodes)
+        cache = BallCache(
+            config.beta, max_entries=config.cache_max_nodes, kernels=kernels
+        )
         touched: np.ndarray | None = None
         for round_index in range(2, config.rounds + 1):
             if len(recovered) >= budget:
@@ -383,7 +388,7 @@ def _run(graph: Graph, config: SparsifierConfig,
                     Z = backend.spai_columns(factor.L, delta=config.delta)
                     ranker = ApproxRanker(
                         graph, subgraph, factor, Z,
-                        beta=config.beta, cache=cache,
+                        beta=config.beta, cache=cache, kernels=kernels,
                     )
                 crit = score_edges(
                     ranker, candidates,

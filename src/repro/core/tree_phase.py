@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core._kernels import ball_pair_edge_sum
 from repro.graph.bfs import BallFinder
 from repro.graph.graph import Graph
 from repro.tree.lca import batch_tree_resistances
@@ -33,7 +32,7 @@ __all__ = ["tree_truncated_trace_reduction"]
 
 def tree_truncated_trace_reduction(
     graph: Graph, forest: RootedForest, edge_ids=None, beta: int = 5,
-    resistances=None,
+    resistances=None, kernels=None,
 ):
     """Truncated trace reduction for off-tree edges (Eq. 15).
 
@@ -53,6 +52,10 @@ def tree_truncated_trace_reduction(
         engine), computing them once for the whole candidate set avoids
         repeating the offline-LCA DFS per chunk; omitted, they are
         computed here.
+    kernels : KernelSet or str, optional
+        Hot-path kernel tier evaluating the restricted quadratic form
+        of Eq. 15; defaults to the auto-resolved tier (see
+        :mod:`repro.kernels`).  Bit-identical across tiers.
 
     Returns
     -------
@@ -78,9 +81,15 @@ def tree_truncated_trace_reduction(
     tin, tout = forest.euler_intervals()
     depth = forest.depth
 
+    from repro.kernels import resolve_kernel_set  # deferred: cycle
+
+    kernel_set = resolve_kernel_set(kernels)
+    ball_pair_edge_sum = kernel_set.ball_pair_edge_sum
     tree_indptr, tree_nbr, tree_local_eid = forest.tree.adjacency()
     tree_global_eid = forest.edge_ids[tree_local_eid]
-    finder = BallFinder(tree_indptr, tree_nbr, edge_ids=tree_global_eid)
+    finder = BallFinder(
+        tree_indptr, tree_nbr, edge_ids=tree_global_eid, kernels=kernel_set
+    )
     g_indptr, g_nbr, g_eid = graph.adjacency()
 
     n = graph.n

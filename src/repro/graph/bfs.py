@@ -35,12 +35,20 @@ class BallFinder:
         Optional array parallel to *neighbors* giving the id of the edge
         connecting each (node, neighbor) pair; when provided, ball
         queries also report the predecessor edge of every visited node.
+    kernels:
+        Optional :class:`~repro.kernels.KernelSet` (or tier name)
+        executing the vectorized layer expansion of
+        :meth:`ball_nodes`; defaults to the auto-resolved tier.  Every
+        tier is bit-identical, so this only affects speed.
     """
 
-    def __init__(self, indptr, neighbors, edge_ids=None) -> None:
+    def __init__(self, indptr, neighbors, edge_ids=None, kernels=None) -> None:
+        from repro.kernels import resolve_kernel_set  # deferred: cycle
+
         self.indptr = indptr
         self.neighbors = neighbors
         self.edge_ids = edge_ids
+        self.kernels = resolve_kernel_set(kernels)
         n = len(indptr) - 1
         self._stamp = np.zeros(n, dtype=np.int64)
         self._clock = 0
@@ -102,11 +110,11 @@ class BallFinder:
         """Sorted node set within *layers* hops of *source* (no preds).
 
         Adaptive frontier expansion: small frontiers walk a plain
-        Python loop (numpy call overhead would dominate), large ones
-        switch to one CSR gather per layer (``concat_ranges`` over the
-        frontier's adjacency ranges plus a stamp-filtered
-        ``np.unique``).  The batched rankers use this when predecessor
-        information is not needed.
+        Python loop (per-layer dispatch overhead would dominate), large
+        ones hand the whole layer to the active kernel tier's
+        :meth:`~repro.kernels.KernelSet.expand_frontier` (one CSR
+        gather + stamp filter per layer).  The batched rankers use this
+        when predecessor information is not needed.
 
         Parameters
         ----------
@@ -121,13 +129,12 @@ class BallFinder:
             Sorted ``int64`` array of the ball's nodes (``source``
             included).
         """
-        from repro.core._kernels import concat_ranges  # deferred: cycle
-
         self._clock += 1
         clock = self._clock
         stamp = self._stamp
         indptr = self.indptr
         neighbors = self.neighbors
+        expand = self.kernels.expand_frontier
         stamp[source] = clock
         frontier: list | np.ndarray = [int(source)]
         parts = [np.asarray(frontier, dtype=np.int64)]
@@ -145,17 +152,12 @@ class BallFinder:
                 frontier = fresh_list
                 parts.append(np.asarray(fresh_list, dtype=np.int64))
             else:
-                frontier = np.asarray(frontier, dtype=np.int64)
-                starts = indptr[frontier]
-                lengths = indptr[frontier + 1] - starts
-                flat = concat_ranges(starts, lengths)
-                if len(flat) == 0:
-                    break
-                nbrs = neighbors[flat]
-                fresh = np.unique(nbrs[stamp[nbrs] != clock])
+                fresh = expand(
+                    indptr, neighbors,
+                    np.asarray(frontier, dtype=np.int64), stamp, clock,
+                )
                 if len(fresh) == 0:
                     break
-                stamp[fresh] = clock
                 parts.append(fresh)
                 frontier = fresh
         if len(parts) == 1:

@@ -1,0 +1,170 @@
+"""Auto-detected hot-path kernel tiers.
+
+The profiled hot loops of the trace-reduction pipeline — criticality
+scoring (the restricted quadratic form of Eqs. 15/20), BFS ball
+expansion, the SPAI column gather and the Hutchinson probe right-hand
+sides — are swappable as a unit through :class:`~repro.kernels.base.KernelSet`:
+
+* ``"python"`` — pure-Python reference loops: the differential oracle
+  every other tier is tested against, and the baseline of the
+  ``BENCH_kernels.json`` speedups;
+* ``"vector"`` — the numpy vector kernels the package has always run
+  (the default fallback; bit-identical to the pre-kernel-layer code by
+  construction);
+* ``"numba"`` — fused ``@njit`` loops, auto-detected at import probe
+  (exactly the CHOLMOD pattern: registered but unavailable when numba
+  is missing, never auto-installed).
+
+Selection is per call: the ``kernels`` config field /
+``repro.sparsify(..., kernels=...)`` / the ``--kernels`` CLI flag name
+a tier, ``"auto"`` (the default) honors the ``REPRO_KERNELS``
+environment variable and otherwise picks the best available tier
+(numba when importable, vector otherwise).  The resolved tier lands in
+``RunRecord.environment["kernels"]``.
+
+**Every tier is bit-identical** — the parity contract is spelled out in
+:mod:`repro.kernels.base` and enforced by ``tests/kernels``: the same
+``RunRecord`` fingerprint must come out of every registered method no
+matter which tier executed it.  A tier is therefore an execution
+detail, like thread count — never an input.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import KernelError
+from repro.kernels.base import KERNEL_CAPABILITY_FLAGS, KernelSet
+from repro.kernels.numba_kernels import NumbaKernels
+from repro.kernels.reference import PythonKernels
+from repro.kernels.vector import VectorKernels
+
+__all__ = [
+    "KernelSet",
+    "PythonKernels",
+    "VectorKernels",
+    "NumbaKernels",
+    "KERNEL_CAPABILITY_FLAGS",
+    "DEFAULT_KERNELS",
+    "KERNELS_ENV_VAR",
+    "list_kernel_sets",
+    "available_kernel_sets",
+    "kernel_capabilities",
+    "kernel_description",
+    "check_kernels",
+    "resolve_kernels",
+    "get_kernels",
+    "resolve_kernel_set",
+]
+
+#: The tier used when a config does not choose one: best available.
+DEFAULT_KERNELS = "auto"
+
+#: Environment override consulted by ``"auto"`` resolution only — an
+#: explicit ``kernels=``/``--kernels`` always wins over the variable.
+KERNELS_ENV_VAR = "REPRO_KERNELS"
+
+_KERNEL_CLASSES: dict[str, type] = {
+    cls.name: cls for cls in (PythonKernels, VectorKernels, NumbaKernels)
+}
+_INSTANCES: dict[str, KernelSet] = {}
+
+
+def list_kernel_sets() -> tuple:
+    """Sorted names of every registered tier (available or not)."""
+    return tuple(sorted(_KERNEL_CLASSES))
+
+
+def available_kernel_sets() -> tuple:
+    """Sorted names of the tiers usable in this environment."""
+    return tuple(
+        name for name in list_kernel_sets()
+        if _KERNEL_CLASSES[name].is_available()
+    )
+
+
+def kernel_capabilities() -> dict:
+    """Capability flags of every tier: ``{name: {flag: bool}}``."""
+    return {
+        name: _KERNEL_CLASSES[name].capabilities()
+        for name in list_kernel_sets()
+    }
+
+
+def _registered_class(name: str) -> type:
+    """The tier class registered under *name*, or a useful error."""
+    if name not in _KERNEL_CLASSES:
+        raise KernelError(
+            f"unknown kernel tier {name!r}; registered tiers: "
+            f"{', '.join(list_kernel_sets())} (or 'auto')"
+        )
+    return _KERNEL_CLASSES[name]
+
+
+def kernel_description(name: str) -> str:
+    """One-line description of a tier (available or not)."""
+    return _registered_class(name).description
+
+
+def check_kernels(name: str) -> str:
+    """Validate a ``kernels=`` value, returning it; raise a useful error.
+
+    ``"auto"`` always validates (resolution falls back as needed); an
+    explicit tier must be registered *and* available — silently
+    substituting a different tier for a named one would contradict the
+    package's no-silent-drop contract.
+
+    Raises
+    ------
+    repro.exceptions.KernelError
+        When *name* is neither ``"auto"`` nor an available registered
+        tier.
+    """
+    if name == "auto":
+        return name
+    if not _registered_class(name).is_available():
+        raise KernelError(
+            f"kernel tier {name!r} is not available in this environment; "
+            f"available tiers: {', '.join(available_kernel_sets())} "
+            "(or 'auto')"
+        )
+    return name
+
+
+def resolve_kernels(name: str | None = None) -> str:
+    """Resolve a ``kernels=`` value to a concrete tier name.
+
+    ``None``/``"auto"`` consults :data:`KERNELS_ENV_VAR` and otherwise
+    picks the best available tier — ``"numba"`` when the import probe
+    succeeded, else ``"vector"``.  Explicit names are validated and
+    returned unchanged, so a run never silently executes a different
+    tier than the one recorded.
+    """
+    if name is None:
+        name = DEFAULT_KERNELS
+    name = str(name)
+    if name == "auto":
+        name = os.environ.get(KERNELS_ENV_VAR, "").strip() or "auto"
+    if name == "auto":
+        return "numba" if NumbaKernels.is_available() else "vector"
+    return check_kernels(name)
+
+
+def get_kernels(name: str = DEFAULT_KERNELS) -> KernelSet:
+    """Return the (cached) tier instance for a ``kernels=`` value."""
+    resolved = resolve_kernels(name)
+    if resolved not in _INSTANCES:
+        _INSTANCES[resolved] = _KERNEL_CLASSES[resolved]()
+    return _INSTANCES[resolved]
+
+
+def resolve_kernel_set(kernels=None) -> KernelSet:
+    """Coerce a kernels argument (name, instance or None) to a set.
+
+    The plumbing helper every kernel consumer calls on its optional
+    ``kernels=`` parameter: instances pass through, names and ``None``
+    resolve through :func:`get_kernels`.
+    """
+    if isinstance(kernels, KernelSet):
+        return kernels
+    return get_kernels(DEFAULT_KERNELS if kernels is None else kernels)

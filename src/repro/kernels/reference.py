@@ -1,0 +1,99 @@
+"""The pure-Python reference tier.
+
+Every kernel is written as the plainest possible interpreted loop — no
+vector tricks, no fused passes — which makes this tier the differential
+oracle the compiled tiers are tested against (``tests/kernels``) and
+the baseline the ``BENCH_kernels.json`` speedups are measured from.
+Selecting it in production (``kernels="python"``) is supported and
+bit-identical, just slow; it exists for debugging and for pinning down
+exactly what every faster tier must reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelSet
+
+__all__ = ["PythonKernels"]
+
+
+class PythonKernels(KernelSet):
+    """Interpreted reference loops (the differential oracle)."""
+
+    name = "python"
+    description = "pure-Python reference loops (differential oracle)"
+    compiled_kernels = False
+
+    def concat_ranges(self, starts, lengths) -> np.ndarray:
+        """Reference loop: append each range element by element."""
+        out = []
+        for start, length in zip(starts, lengths):
+            start = int(start)
+            for offset in range(max(0, int(length))):
+                out.append(start + offset)
+        return np.asarray(out, dtype=np.int64)
+
+    def select_ball_pair_edges(self, sources, nbrs, eids, in_q_stamp, clock):
+        """Reference loop: stamped filter, first-seen dedup, sort by id."""
+        first: dict = {}
+        for k in range(len(eids)):
+            if in_q_stamp[nbrs[k]] != clock:
+                continue
+            eid = int(eids[k])
+            if eid not in first:
+                first[eid] = (int(sources[k]), int(nbrs[k]))
+        ueids = sorted(first)
+        usrc = [first[eid][0] for eid in ueids]
+        unbr = [first[eid][1] for eid in ueids]
+        return (
+            np.asarray(ueids, dtype=np.int64),
+            np.asarray(usrc, dtype=np.int64),
+            np.asarray(unbr, dtype=np.int64),
+        )
+
+    def expand_frontier(self, indptr, neighbors, frontier, stamp, clock):
+        """Reference loop: visit, stamp, collect, sort."""
+        fresh = []
+        for node in frontier:
+            node = int(node)
+            for k in range(int(indptr[node]), int(indptr[node + 1])):
+                nbr = int(neighbors[k])
+                if stamp[nbr] != clock:
+                    stamp[nbr] = clock
+                    fresh.append(nbr)
+        fresh.sort()
+        return np.asarray(fresh, dtype=np.int64)
+
+    def gather_csc_columns(self, indptr, indices, data, cols):
+        """Reference loop: copy each requested column entry by entry."""
+        out_indptr = np.zeros(len(cols) + 1, dtype=np.int64)
+        out_indices = []
+        out_data = []
+        for k, col in enumerate(cols):
+            col = int(col)
+            start, stop = int(indptr[col]), int(indptr[col + 1])
+            for j in range(start, stop):
+                out_indices.append(int(indices[j]))
+                out_data.append(float(data[j]))
+            out_indptr[k + 1] = out_indptr[k] + (stop - start)
+        return (
+            out_indptr,
+            np.asarray(out_indices, dtype=np.int64),
+            np.asarray(out_data, dtype=np.float64),
+        )
+
+    def probe_rhs(self, incidence, q) -> np.ndarray:
+        """Reference loop in scipy's CSC matvec accumulation order."""
+        import scipy.sparse as sp
+
+        csr = sp.csr_matrix(incidence)
+        indptr, indices, data = csr.indptr, csr.indices, csr.data
+        out = np.zeros(csr.shape[1], dtype=np.float64)
+        # incidence.T is CSC with one column per incidence row; scipy
+        # walks columns in ascending order, entries in storage order.
+        for row in range(csr.shape[0]):
+            scale = float(q[row])
+            for k in range(int(indptr[row]), int(indptr[row + 1])):
+                out[indices[k]] += float(data[k]) * scale
+        return out

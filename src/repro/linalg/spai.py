@@ -122,13 +122,15 @@ def sparse_approximate_inverse(L, delta=0.1, keep_threshold=None):
     return Z
 
 
-def extract_columns(Z, cols):
-    """Gather many columns of a CSC matrix in one vectorized pass.
+def extract_columns(Z, cols, kernels=None):
+    """Gather many columns of a CSC matrix in one pass.
 
     The batched rankers need the SPAI columns of every candidate-edge
     endpoint; slicing ``Z`` column by column costs one Python call per
-    endpoint.  This helper gathers all requested columns with a single
-    ``concat_ranges`` pass over ``Z.indptr``.
+    endpoint.  This helper gathers all requested columns through the
+    active kernel tier's
+    :meth:`~repro.kernels.KernelSet.gather_csc_columns` (a single
+    ``concat_ranges`` pass on the default vector tier).
 
     Parameters
     ----------
@@ -137,6 +139,9 @@ def extract_columns(Z, cols):
         :func:`sparse_approximate_inverse`).
     cols : array_like of int
         Column indices to extract (duplicates allowed).
+    kernels : KernelSet or str, optional
+        Hot-path kernel tier; defaults to the auto-resolved tier (see
+        :mod:`repro.kernels`).  Bit-identical across tiers.
 
     Returns
     -------
@@ -148,15 +153,12 @@ def extract_columns(Z, cols):
     data : numpy.ndarray
         Values of the gathered entries.
     """
-    from repro.core._kernels import concat_ranges  # deferred: cycle
+    from repro.kernels import resolve_kernel_set  # deferred: cycle
 
     cols = np.asarray(cols, dtype=np.int64)
-    starts = Z.indptr[cols].astype(np.int64)
-    lengths = Z.indptr[cols + 1].astype(np.int64) - starts
-    flat = concat_ranges(starts, lengths)
-    indptr = np.zeros(len(cols) + 1, dtype=np.int64)
-    np.cumsum(lengths, out=indptr[1:])
-    return indptr, Z.indices[flat].astype(np.int64), Z.data[flat]
+    return resolve_kernel_set(kernels).gather_csc_columns(
+        Z.indptr, Z.indices, Z.data, cols
+    )
 
 
 def spai_nnz_profile(L, deltas):

@@ -1,0 +1,234 @@
+"""Graceful degradation of the optional numba tier.
+
+The compiled tier must be a pure opportunity — never a requirement and
+never a surprise.  These tests fake every way the tier can be missing
+(numba absent, numba importing but broken, JIT disabled via
+``NUMBA_DISABLE_JIT``) and pin the fallback behavior: ``"auto"``
+silently resolves to the vector tier, the only observable change is
+the capability flag, and **no warnings** are emitted.  Explicitly
+requesting an unavailable tier, by contrast, fails loudly with a
+:class:`~repro.exceptions.KernelError` — silently substituting a
+different tier for a named one would break provenance.
+"""
+
+import sys
+import types
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.records import RunRecord, capture_environment
+from repro.core.base import BaseSparsifierConfig
+from repro.exceptions import KernelError
+from repro.kernels import (
+    KERNEL_CAPABILITY_FLAGS,
+    KERNELS_ENV_VAR,
+    NumbaKernels,
+    available_kernel_sets,
+    check_kernels,
+    get_kernels,
+    kernel_capabilities,
+    list_kernel_sets,
+    resolve_kernels,
+)
+from repro.kernels import numba_kernels as nk
+
+
+@pytest.fixture(autouse=True)
+def _reset_numba_probe(monkeypatch):
+    """Each test manipulates the probe; restore the real state after."""
+    saved_jitted = dict(nk._JITTED)
+    monkeypatch.setattr(nk, "_PROBED", False)
+    monkeypatch.setattr(nk, "_NUMBA", None)
+    monkeypatch.delenv("NUMBA_DISABLE_JIT", raising=False)
+    monkeypatch.delenv(KERNELS_ENV_VAR, raising=False)
+    yield
+    nk._JITTED.clear()
+    nk._JITTED.update(saved_jitted)
+
+
+def _fake_numba_absent(monkeypatch):
+    """Probe already ran and found nothing."""
+    monkeypatch.setattr(nk, "_PROBED", True)
+    monkeypatch.setattr(nk, "_NUMBA", None)
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert list_kernel_sets() == ("numba", "python", "vector")
+
+    def test_python_and_vector_always_available(self):
+        assert {"python", "vector"} <= set(available_kernel_sets())
+
+    def test_capability_flags_shape(self):
+        for name, caps in kernel_capabilities().items():
+            assert tuple(sorted(caps)) == tuple(
+                sorted(KERNEL_CAPABILITY_FLAGS)
+            ), name
+            assert all(isinstance(v, bool) for v in caps.values())
+
+    def test_unknown_tier_raises_with_choices(self):
+        with pytest.raises(KernelError, match="python"):
+            check_kernels("fortran")
+        with pytest.raises(KernelError):
+            get_kernels("fortran")
+
+    def test_kernel_error_is_value_error(self):
+        # Like a bad backend=, a bad kernels= is a ValueError.
+        with pytest.raises(ValueError):
+            check_kernels("fortran")
+
+
+class TestNumbaAbsent:
+    def test_auto_falls_back_to_vector(self, monkeypatch):
+        _fake_numba_absent(monkeypatch)
+        assert not NumbaKernels.is_available()
+        assert resolve_kernels() == "vector"
+        assert resolve_kernels("auto") == "vector"
+        assert "numba" not in available_kernel_sets()
+
+    def test_fallback_emits_no_warnings(self, monkeypatch, small_grid):
+        _fake_numba_absent(monkeypatch)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = repro.sparsify(
+                small_grid, method="proposed", edge_fraction=0.1, seed=0
+            )
+        record = RunRecord.from_result(result, "proposed")
+        assert record.environment["kernels"] == "vector"
+
+    def test_only_capability_flag_changes(self, monkeypatch):
+        _fake_numba_absent(monkeypatch)
+        caps = kernel_capabilities()["numba"]
+        assert caps == {"available": False, "compiled_kernels": True}
+
+    def test_explicit_numba_raises_kernel_error(self, monkeypatch):
+        _fake_numba_absent(monkeypatch)
+        with pytest.raises(KernelError, match="not available"):
+            check_kernels("numba")
+        config = BaseSparsifierConfig(kernels="numba")
+        with pytest.raises(KernelError):
+            config.validate()
+
+    def test_sparsify_with_explicit_numba_raises(
+        self, monkeypatch, small_grid
+    ):
+        _fake_numba_absent(monkeypatch)
+        with pytest.raises(KernelError):
+            repro.sparsify(
+                small_grid, method="proposed", edge_fraction=0.1,
+                kernels="numba",
+            )
+
+
+class TestNumbaImportBroken:
+    def test_import_error_probes_unavailable(self, monkeypatch):
+        # A module that imports but cannot compile (no njit attribute):
+        # the probe's warm-compilation step fails and reports absent.
+        monkeypatch.setitem(
+            sys.modules, "numba", types.ModuleType("numba")
+        )
+        assert not NumbaKernels.is_available()
+        assert resolve_kernels() == "vector"
+
+    def test_probe_failure_is_silent(self, monkeypatch):
+        monkeypatch.setitem(
+            sys.modules, "numba", types.ModuleType("numba")
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not NumbaKernels.is_available()
+
+    def test_probe_runs_once(self, monkeypatch):
+        calls = []
+        broken = types.ModuleType("numba")
+
+        class _CountingDict(dict):
+            def __missing__(self, key):
+                raise KeyError(key)
+
+        monkeypatch.setitem(sys.modules, "numba", broken)
+        assert not NumbaKernels.is_available()
+        # Second call must not re-import: swap in a working fake and
+        # confirm the cached verdict stands.
+        working = types.ModuleType("numba")
+        working.njit = lambda **kw: (lambda fn: calls.append(fn) or fn)
+        monkeypatch.setitem(sys.modules, "numba", working)
+        assert not NumbaKernels.is_available()
+        assert calls == []
+
+
+class TestJitDisabled:
+    def test_disable_jit_makes_tier_unavailable(self, monkeypatch):
+        monkeypatch.setenv("NUMBA_DISABLE_JIT", "1")
+        assert not NumbaKernels.is_available()
+        assert resolve_kernels() == "vector"
+
+    def test_disable_jit_zero_or_empty_means_enabled(self, monkeypatch):
+        for value in ("", "0"):
+            monkeypatch.setenv("NUMBA_DISABLE_JIT", value)
+            assert not nk._jit_disabled()
+
+
+class TestEnvOverride:
+    def test_env_var_steers_auto(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV_VAR, "python")
+        assert resolve_kernels() == "python"
+        assert resolve_kernels("auto") == "python"
+        assert get_kernels().name == "python"
+
+    def test_explicit_name_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV_VAR, "python")
+        assert resolve_kernels("vector") == "vector"
+
+    def test_invalid_env_value_raises_loudly(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV_VAR, "fortran")
+        with pytest.raises(KernelError, match="fortran"):
+            resolve_kernels()
+
+    def test_env_override_flows_into_record(self, monkeypatch, small_grid):
+        monkeypatch.setenv(KERNELS_ENV_VAR, "python")
+        result = repro.sparsify(
+            small_grid, method="grass", edge_fraction=0.1, seed=0
+        )
+        record = RunRecord.from_result(result, "grass")
+        assert record.environment["kernels"] == "python"
+
+
+class TestEnvironmentCapture:
+    def test_resolved_tier_and_capabilities_recorded(self):
+        environment = capture_environment(kernels="vector")
+        assert environment["kernels"] == "vector"
+        assert environment["kernel_capabilities"] == {
+            "available": True, "compiled_kernels": False,
+        }
+
+    def test_auto_is_recorded_resolved(self, monkeypatch):
+        _fake_numba_absent(monkeypatch)
+        environment = capture_environment(kernels="auto")
+        assert environment["kernels"] == "vector"
+
+    def test_no_kernels_key_without_request(self):
+        assert "kernels" not in capture_environment()
+
+    def test_config_validates_kernels_field(self):
+        config = BaseSparsifierConfig(kernels="vector")
+        config.validate()
+        assert config.resolve_kernels().name == "vector"
+        bad = BaseSparsifierConfig(kernels="fortran")
+        with pytest.raises(KernelError):
+            bad.validate()
+
+    def test_numba_tier_coercions_accept_int32_inputs(self):
+        # The adapter layer must coerce scipy's int32 CSR indices; the
+        # interpreted bodies see only contiguous int64/float64 arrays.
+        starts = np.asarray([0, 3], dtype=np.int32)
+        lengths = np.asarray([2, 1], dtype=np.int32)
+        got = nk._concat_ranges_py(
+            np.ascontiguousarray(starts, dtype=np.int64),
+            np.ascontiguousarray(lengths, dtype=np.int64),
+        )
+        assert got.tolist() == [0, 1, 3]
+        assert got.dtype == np.int64

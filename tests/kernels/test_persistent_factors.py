@@ -1,0 +1,185 @@
+"""The ``persistent_factors`` capability, exercised end to end.
+
+Three layers:
+
+* the **flag** — ``supports_persistent_factors()`` feeds the
+  capability table truthfully (numpy: yes; scipy: no, SuperLU handles
+  do not pickle; cholmod: a runtime probe of the installed library);
+* the **warm restore** — a backend whose factors persist gets its
+  ``factor_g`` served from the disk cache in a fresh session: disk hit,
+  nonzero ``restore_seconds``, and a fingerprint byte-identical to the
+  cold run;
+* the **cholmod pickling machinery** — :class:`CholmodFactor` pickles
+  by delegating to the wrapped library factor and rebuilds its derived
+  arrays on restore, verified here through a duck-typed stand-in so the
+  wrapper logic is covered even where scikit-sparse is absent.
+"""
+
+import io
+import pickle
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.api.session import SparsifierSession
+from repro.backends import get_backend
+from repro.backends.cholmod_backend import CholmodBackend, CholmodFactor
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.scipy_backend import ScipyBackend
+from repro.graph import grid2d
+
+
+@pytest.fixture()
+def grid():
+    return grid2d(7, 7, weights="uniform", seed=5)
+
+
+class TestCapabilityFlag:
+    def test_numpy_persists(self):
+        assert NumpyBackend.supports_persistent_factors()
+        assert NumpyBackend.capabilities()["persistent_factors"] is True
+
+    def test_scipy_does_not_persist(self):
+        assert not ScipyBackend.supports_persistent_factors()
+        assert ScipyBackend.capabilities()["persistent_factors"] is False
+
+    def test_flag_matches_reality(self, grid):
+        """Whatever a backend claims, a pickle round-trip agrees."""
+        from repro.graph import regularization_shift, regularized_laplacian
+
+        laplacian = regularized_laplacian(
+            grid, regularization_shift(grid, 1e-6)
+        )
+        for name in ("numpy", "scipy"):
+            backend = get_backend(name)
+            factor = backend.factorize(laplacian)
+            rhs = np.arange(1.0, grid.n + 1.0)
+            try:
+                buffer = io.BytesIO()
+                pickle.dump(factor, buffer)
+                buffer.seek(0)
+                restored = pickle.load(buffer)
+                roundtrips = bool(np.array_equal(
+                    restored.solve(rhs), factor.solve(rhs)
+                ))
+            except Exception:
+                roundtrips = False
+            assert roundtrips == backend.supports_persistent_factors(), name
+
+    def test_cholmod_unavailable_reports_false(self):
+        if not CholmodBackend.is_available():
+            assert not CholmodBackend.supports_persistent_factors()
+            assert (
+                CholmodBackend.capabilities()["persistent_factors"] is False
+            )
+        else:  # pragma: no cover - exercised where sksparse exists
+            probed = CholmodBackend.supports_persistent_factors()
+            assert isinstance(probed, bool)
+
+
+class TestWarmFactorRestore:
+    """factor_g persisted cold, restored warm, fingerprints identical.
+
+    Warm runs use a *different seed*: the seed is part of the
+    ``er_resistances`` key but not of ``factor_g``'s, so the sketch is
+    recomputed while the factorization restores from disk — which is
+    exactly the reuse ``persistent_factors`` exists for.
+    """
+
+    def test_numpy_factor_served_from_disk(self, grid, tmp_path):
+        cold = SparsifierSession(grid, cache_dir=tmp_path)
+        cold.run("er_sampling", edge_fraction=0.10, seed=1, backend="numpy")
+        assert cold.stats()["disk"]["stores"].get("factor_g", 0) == 1
+
+        warm_session = SparsifierSession(grid, cache_dir=tmp_path)
+        warm = warm_session.run(
+            "er_sampling", edge_fraction=0.10, seed=2, backend="numpy"
+        )
+        disk = warm_session.stats()["disk"]
+        assert disk["hits"].get("factor_g", 0) == 1
+        assert disk["stores"].get("factor_g", 0) == 0
+        assert warm.timings.get("restore_seconds", 0.0) > 0.0
+
+    def test_warm_fingerprint_identical_to_cold(self, grid, tmp_path):
+        cold = SparsifierSession(grid, cache_dir=tmp_path).run(
+            "er_sampling", edge_fraction=0.10, seed=1, backend="numpy"
+        )
+        warm = SparsifierSession(grid, cache_dir=tmp_path).run(
+            "er_sampling", edge_fraction=0.10, seed=1, backend="numpy"
+        )
+        assert warm.fingerprint() == cold.fingerprint()
+        assert warm.timings.get("restore_seconds", 0.0) > 0.0
+
+    def test_scipy_factor_not_persisted_but_run_still_warm(
+        self, grid, tmp_path
+    ):
+        """SuperLU factors skip the disk; everything else still warms."""
+        cold_session = SparsifierSession(grid, cache_dir=tmp_path)
+        cold = cold_session.run(
+            "er_sampling", edge_fraction=0.10, seed=1, backend="scipy"
+        )
+        assert cold_session.stats()["disk"]["skips"].get("factor_g", 0) == 1
+        warm_session = SparsifierSession(grid, cache_dir=tmp_path)
+        warm = warm_session.run(
+            "er_sampling", edge_fraction=0.10, seed=1, backend="scipy"
+        )
+        assert warm.fingerprint() == cold.fingerprint()
+        assert warm_session.stats()["disk"]["hits"].get("factor_g", 0) == 0
+
+
+class _FakeLibraryFactor:
+    """Duck-typed stand-in for a ``sksparse.cholmod`` factor object.
+
+    Implements the three entry points :class:`CholmodFactor` consumes —
+    ``L()``, ``P()`` and ``__call__`` — over a dense lower factor, and
+    pickles as plain data, exactly like sksparse factors (which
+    serialize their internal CHOLMOD state).
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        self._dense_lower = np.linalg.cholesky(matrix)
+        self._n = matrix.shape[0]
+
+    def L(self):
+        return sp.csc_matrix(self._dense_lower)
+
+    def P(self):
+        return np.arange(self._n)
+
+    def __call__(self, b):
+        y = np.linalg.solve(self._dense_lower, b)
+        return np.linalg.solve(self._dense_lower.T, y)
+
+
+class TestCholmodFactorPickling:
+    def _factor(self) -> CholmodFactor:
+        rng = np.random.default_rng(3)
+        raw = rng.standard_normal((6, 6))
+        spd = raw @ raw.T + 6 * np.eye(6)
+        return CholmodFactor(_FakeLibraryFactor(spd))
+
+    def test_getstate_is_minimal(self):
+        factor = self._factor()
+        assert set(factor.__getstate__()) == {"factor"}
+
+    def test_roundtrip_rebuilds_derived_arrays(self):
+        factor = self._factor()
+        buffer = io.BytesIO()
+        pickle.dump(factor, buffer)
+        buffer.seek(0)
+        restored = pickle.load(buffer)
+        assert restored.n == factor.n
+        assert restored.nnz == factor.nnz
+        assert np.array_equal(restored.perm, factor.perm)
+        assert np.array_equal(restored.iperm, factor.iperm)
+        assert np.array_equal(
+            restored.L.toarray(), factor.L.toarray()
+        )
+
+    def test_roundtrip_solves_bitwise(self):
+        factor = self._factor()
+        rhs = np.arange(1.0, 7.0)
+        expected = factor.solve(rhs)
+        restored = pickle.loads(pickle.dumps(factor))
+        assert np.array_equal(restored.solve(rhs), expected)
