@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke serve-smoke load-smoke incremental-smoke \
-	kernels-smoke docs-check
+	kernels-smoke apps-smoke docs-check
 
 # Tier-1 gate: the full unit/property suite.
 test:
@@ -46,6 +46,18 @@ incremental-smoke:
 # the scoring kernel.  Writes BENCH_kernels.json.
 kernels-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_kernels.py --smoke
+
+# Application sanity: both application-level benchmarks (transient
+# power-grid simulation and spectral clustering) at CI scale, under a
+# combined 60 s budget.  Fails when the sparsifier-preconditioned
+# transient diverges from the dense reference (> 16 mV) or clustering
+# quality drops below the planted-partition ARI floor.  Writes the
+# matching sections of BENCH_apps.json.
+apps-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_app_transient.py \
+		--smoke --budget 35
+	$(PYTHONPATH_PREFIX) $(PYTHON) benchmarks/bench_app_clustering.py \
+		--smoke --budget 25
 
 # The documentation gate: the generated API reference must match the
 # registries, the public API must be fully docstringed, and every

@@ -32,18 +32,41 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
-def emit_records(name: str, records: list) -> None:
+def emit_records(name: str, records: list, section: str = None,
+                 output=None) -> None:
     """Persist RunRecords as ``<repo>/<name>.json``.
 
     ``BENCH_*.json`` files at the repository root are the
     machine-readable performance trajectory: each benchmark run
     overwrites its file, and version control carries the history.
+
+    With *section* set, the file holds a ``{section: [records]}`` dict
+    instead of a flat list and only the named section is replaced —
+    this is how the two application benchmarks share
+    ``BENCH_apps.json`` without clobbering each other.  *output*
+    overrides the destination path (the executable docs use a scratch
+    path so ``make docs-check`` never rewrites the checked-in
+    trajectory).
     """
     payload = [
         record.to_dict() if hasattr(record, "to_dict") else record
         for record in records
     ]
-    path = REPO_ROOT / f"{name}.json"
+    path = Path(output) if output else REPO_ROOT / f"{name}.json"
+    if section is not None:
+        merged = {}
+        if path.exists():
+            try:
+                on_disk = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                on_disk = None
+            if isinstance(on_disk, dict):
+                merged = on_disk
+        merged[section] = payload
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {len(payload)} run records to {path} "
+              f"[section {section!r}]")
+        return
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {len(payload)} run records to {path}")
 

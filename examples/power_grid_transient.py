@@ -8,10 +8,16 @@ grid (VDD + GND planes, pulse current loads, 1-10 pF node caps):
    by the factored trace-reduction sparsifier built at DC.
 
 Prints the Table-2-style comparison and writes the waveform of one VDD
-node and one GND node (the paper's Fig. 1) to pg_waveforms.csv.
+node and one GND node (the paper's Fig. 1) to ``examples/
+pg_waveforms.csv`` — resolved relative to this file, not the current
+working directory, so the artifact lands in the same place no matter
+where the example is launched from.
 
-Run:  python examples/power_grid_transient.py
+Run:  python examples/power_grid_transient.py [--scale S] [--t-end T]
 """
+
+import argparse
+from pathlib import Path
 
 import numpy as np
 
@@ -23,9 +29,24 @@ from repro.powergrid import (
 )
 from repro.powergrid.transient import max_probe_difference
 
+EXAMPLE_DIR = Path(__file__).resolve().parent
 
-def main() -> None:
-    netlist, spec = make_pg_case("ibmpg4t", scale=0.5, seed=0)
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="direct vs sparsifier-PCG PG transient"
+    )
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="case-size multiplier (default 0.5)")
+    parser.add_argument("--t-end", type=float, default=5e-9,
+                        help="simulated window in seconds (default 5 ns)")
+    parser.add_argument("--out", default="pg_waveforms.csv",
+                        help="output CSV; relative paths resolve next to "
+                        "this example")
+    args = parser.parse_args(argv)
+    out_path = EXAMPLE_DIR / args.out
+
+    netlist, spec = make_pg_case("ibmpg4t", scale=args.scale, seed=0)
     half = netlist.n // 2
     vdd_probe = next(l.node for l in netlist.loads if l.node < half)
     gnd_probe = next(l.node for l in netlist.loads if l.node >= half)
@@ -36,7 +57,7 @@ def main() -> None:
     )
 
     direct = simulate_transient_direct(
-        netlist, t_end=5e-9, step=10e-12, probes=probes
+        netlist, t_end=args.t_end, step=10e-12, probes=probes
     )
     print(
         f"direct:    {direct.steps} steps, "
@@ -48,7 +69,7 @@ def main() -> None:
         netlist, method="proposed", edge_fraction=0.10, seed=1
     )
     iterative = simulate_transient_pcg(
-        netlist, factor, t_end=5e-9, probes=probes
+        netlist, factor, t_end=args.t_end, probes=probes
     )
     print(
         f"iterative: {iterative.steps} steps, "
@@ -78,13 +99,13 @@ def main() -> None:
         ]
     )
     np.savetxt(
-        "pg_waveforms.csv",
+        out_path,
         rows,
         delimiter=",",
         header="time_s,vdd_direct,vdd_iterative,gnd_direct,gnd_iterative",
         comments="",
     )
-    print("waveforms written to pg_waveforms.csv (Fig. 1 data)")
+    print(f"waveforms written to {out_path} (Fig. 1 data)")
 
 
 if __name__ == "__main__":

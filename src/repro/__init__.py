@@ -32,6 +32,14 @@ from repro.graph import (
     triangular_mesh,
     random_geometric_graph,
     circuit_grid,
+    barabasi_albert,
+    watts_strogatz,
+    stochastic_kronecker,
+    configuration_model,
+    bipartite_recommender,
+    GENERATOR_REGISTRY,
+    list_families,
+    make_family_graph,
     make_case,
     read_graph_mtx,
     read_graph_mtx_streaming,
@@ -121,6 +129,14 @@ __all__ = [
     "triangular_mesh",
     "random_geometric_graph",
     "circuit_grid",
+    "barabasi_albert",
+    "watts_strogatz",
+    "stochastic_kronecker",
+    "configuration_model",
+    "bipartite_recommender",
+    "GENERATOR_REGISTRY",
+    "list_families",
+    "make_family_graph",
     "make_case",
     "read_graph_mtx",
     "read_graph_mtx_streaming",

@@ -1,10 +1,22 @@
-"""Synthetic graph generators.
+"""Synthetic graph generators and the workload-family registry.
 
-These produce the topology classes the paper's test suite draws from:
+These produce the topology classes the paper's test suite draws from —
 2-D finite-difference grids (ecology2, tmt_sym, ...), 2-D finite-element
 triangulations (thermal2 and the aerodynamic meshes NACA0015/M6/...),
-and multi-layer circuit-style grids (G3_circuit).  All generators take a
-``seed`` and a ``weights`` model so experiments are reproducible.
+multi-layer circuit-style grids (G3_circuit) — plus the non-geometric
+workload families the application benchmarks sweep: Barabási–Albert
+preferential attachment, Watts–Strogatz small-world rings, stochastic
+Kronecker (R-MAT) graphs, the erased configuration model, and planted
+bipartite recommendation graphs.  All generators take a ``seed`` and a
+``weights`` model so experiments are reproducible, and every returned
+graph obeys the :class:`~repro.graph.Graph` contract: canonical
+``u < v`` edges, no self loops or duplicates, finite positive weights,
+bit-identical output per seed.
+
+Every family is also published through :data:`GENERATOR_REGISTRY`
+(see :class:`GeneratorSpec` and :func:`make_family_graph`), the single
+source the benchmarks, ``docs/api-reference.md`` and the family sweeps
+enumerate.
 
 Weight models
 -------------
@@ -16,9 +28,15 @@ Weight models
 ``"smooth"``
     A smooth random field evaluated at edge midpoints — mimics FEM
     coefficient fields, where nearby elements have similar weights.
+    Non-geometric families embed node ``i`` at ``i / n`` on the unit
+    interval, so "nearby" means nearby in node id.
 """
 
 from __future__ import annotations
+
+import math
+import typing
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -32,7 +50,18 @@ __all__ = [
     "triangular_mesh",
     "random_geometric_graph",
     "circuit_grid",
+    "barabasi_albert",
+    "watts_strogatz",
+    "stochastic_kronecker",
+    "kronecker_expected_edges",
+    "configuration_model",
+    "bipartite_recommender",
+    "planted_labels",
     "edge_weights",
+    "GeneratorSpec",
+    "GENERATOR_REGISTRY",
+    "list_families",
+    "make_family_graph",
 ]
 
 
@@ -246,3 +275,557 @@ def circuit_grid(nx, ny, layers=2, via_density=0.05, weights="uniform", seed=0):
         np.concatenate(all_w),
         validate=False,
     )
+
+
+# ----------------------------------------------------------------------
+# non-geometric workload families
+# ----------------------------------------------------------------------
+
+def _index_midpoints(n, u, v):
+    """1-D edge midpoints for non-geometric families.
+
+    Node ``i`` is embedded at ``i / (n - 1)`` on the unit interval so
+    the ``"smooth"`` weight model has a coordinate to evaluate its
+    random field at; for ``"unit"``/``"uniform"`` only the length of
+    this array matters.
+    """
+    pos = np.arange(n, dtype=np.float64) / max(n - 1, 1)
+    return 0.5 * (pos[u] + pos[v])
+
+
+def _canonical_unique(u, v):
+    """Canonicalize to ``u < v``, dropping self loops and duplicates.
+
+    Returns sorted unique ``(u, v)`` arrays; deterministic (the
+    surviving edge order depends only on the input pairs, not on rng
+    state).
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
+    if len(pairs) == 0:
+        return (np.empty(0, dtype=np.int64),) * 2
+    return pairs[:, 0], pairs[:, 1]
+
+
+def _bridge_components(n, u, v, rng):
+    """Extra ``(u, v)`` pairs linking every component to the largest.
+
+    One bridge edge per non-giant component, from an rng-chosen member
+    node to an rng-chosen node of the largest component.  Returns two
+    (possibly empty) int arrays.
+    """
+    from repro.graph.components import connected_components
+
+    probe = Graph(n, u, v, np.ones(len(u)), validate=False)
+    count, labels = connected_components(probe)
+    if count <= 1:
+        return (np.empty(0, dtype=np.int64),) * 2
+    sizes = np.bincount(labels, minlength=count)
+    giant = int(np.argmax(sizes))
+    giant_nodes = np.flatnonzero(labels == giant)
+    extra_u, extra_v = [], []
+    for comp in range(count):
+        if comp == giant:
+            continue
+        members = np.flatnonzero(labels == comp)
+        a = int(members[rng.integers(0, len(members))])
+        b = int(giant_nodes[rng.integers(0, len(giant_nodes))])
+        extra_u.append(min(a, b))
+        extra_v.append(max(a, b))
+    return (np.asarray(extra_u, dtype=np.int64),
+            np.asarray(extra_v, dtype=np.int64))
+
+
+def _assemble(n, u, v, rng, weights, w_min, w_max, connected=False):
+    """Shared tail of the non-geometric builders.
+
+    Canonicalizes the edge list, optionally bridges components
+    (:func:`_bridge_components`), then samples weights from the 1-D
+    index embedding — in that order, so the weight stream depends only
+    on the final edge list and stays deterministic per seed.
+    """
+    u, v = _canonical_unique(u, v)
+    if connected:
+        if len(u) == 0 and n > 1:
+            # No edges at all: chain the nodes so there is a giant
+            # component to bridge into (degenerate tiny-graph case).
+            u = np.arange(n - 1, dtype=np.int64)
+            v = u + 1
+        extra_u, extra_v = _bridge_components(n, u, v, rng)
+        if len(extra_u):
+            u, v = _canonical_unique(
+                np.concatenate([u, extra_u]), np.concatenate([v, extra_v])
+            )
+    if len(u) == 0 and n > 1:
+        raise GraphError(
+            "generator produced no edges; raise the density parameters"
+        )
+    w = edge_weights(weights, _index_midpoints(n, u, v), rng,
+                     w_min=w_min, w_max=w_max)
+    return Graph(n, u, v, w, validate=False)
+
+
+def barabasi_albert(n, attach=4, weights="uniform", seed=0,
+                    w_min=0.1, w_max=10.0):
+    """Barabási–Albert preferential-attachment graph (always connected).
+
+    Growth starts from a complete core of ``attach + 1`` nodes; every
+    later node attaches to ``attach`` distinct existing nodes chosen
+    with probability proportional to their current degree (implemented
+    with the classic repeated-endpoint target list).  The result is a
+    scale-free graph whose degree-distribution tail is far heavier
+    than any Poisson-degree baseline of equal size — the expander-like
+    end of the workload spectrum, where effective-resistance sampling
+    behaves very differently than on meshes.
+
+    ``n <= attach + 1`` degenerates to the complete graph on ``n``
+    nodes.  Connected by construction for every seed.
+    """
+    if n < 2:
+        raise GraphError("barabasi_albert needs n >= 2")
+    if attach < 1:
+        raise GraphError("barabasi_albert needs attach >= 1")
+    rng = as_rng(seed)
+    core = min(n, attach + 1)
+    us, vs = np.triu_indices(core, k=1)
+    edges_u = list(us.astype(np.int64))
+    edges_v = list(vs.astype(np.int64))
+    # One entry per edge endpoint: sampling uniformly from this list is
+    # sampling nodes proportionally to degree.
+    targets = list(edges_u) + list(edges_v)
+    for node in range(core, n):
+        chosen: set = set()
+        while len(chosen) < attach:
+            pick = targets[int(rng.integers(0, len(targets)))]
+            chosen.add(int(pick))
+        for other in sorted(chosen):
+            edges_u.append(other)
+            edges_v.append(node)
+            targets.append(other)
+            targets.append(node)
+    return _assemble(n, edges_u, edges_v, rng, weights, w_min, w_max)
+
+
+def watts_strogatz(n, k=4, p=0.1, weights="uniform", seed=0,
+                   w_min=0.1, w_max=10.0):
+    """Watts–Strogatz small-world ring (always connected).
+
+    A ring lattice where each node links to its ``k // 2`` nearest
+    neighbors on each side; every edge at ring offset >= 2 is rewired
+    with probability *p* to a uniformly random non-duplicate endpoint.
+    The offset-1 ring itself is never rewired — that backbone is the
+    documented connectivity contract, so the graph stays connected for
+    every ``(seed, p)`` while the clustering coefficient still decays
+    from the lattice value at ``p = 0`` toward the random-graph value
+    at ``p = 1``.
+    """
+    if n < 3:
+        raise GraphError("watts_strogatz needs n >= 3")
+    if k < 2 or k % 2 != 0:
+        raise GraphError("watts_strogatz needs even k >= 2")
+    if k >= n:
+        raise GraphError("watts_strogatz needs k < n")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("rewiring probability p must be in [0, 1]")
+    rng = as_rng(seed)
+    present = set()
+    for node in range(n):
+        present.add((node, (node + 1) % n) if node + 1 < n else (0, node))
+    rewirable = []
+    for offset in range(2, k // 2 + 1):
+        for node in range(n):
+            other = (node + offset) % n
+            key = (min(node, other), max(node, other))
+            if key not in present:
+                rewirable.append(key)
+                present.add(key)
+    for key in rewirable:
+        if rng.random() >= p:
+            continue
+        node = key[0] if rng.random() < 0.5 else key[1]
+        for _ in range(8):  # retry budget; dense corners can collide
+            other = int(rng.integers(0, n))
+            new_key = (min(node, other), max(node, other))
+            if other != node and new_key not in present:
+                present.discard(key)
+                present.add(new_key)
+                break
+    pairs = sorted(present)
+    u = np.fromiter((a for a, _ in pairs), dtype=np.int64, count=len(pairs))
+    v = np.fromiter((b for _, b in pairs), dtype=np.int64, count=len(pairs))
+    return _assemble(n, u, v, rng, weights, w_min, w_max)
+
+
+#: Default R-MAT initiator: community structure with a heavy corner.
+_KRONECKER_INITIATOR = ((0.9, 0.5), (0.5, 0.2))
+
+
+def kronecker_expected_edges(initiator=_KRONECKER_INITIATOR, levels=8):
+    """Expected number of directed cell hits, ``(sum initiator)**levels``.
+
+    This is the initiator-matrix expectation the stochastic sampler
+    targets; the realized simple undirected edge count sits below it by
+    exactly the self-loop and duplicate losses (see
+    :func:`stochastic_kronecker`).
+    """
+    matrix = np.asarray(initiator, dtype=np.float64)
+    return float(matrix.sum()) ** int(levels)
+
+
+def stochastic_kronecker(levels, initiator=_KRONECKER_INITIATOR,
+                         weights="uniform", seed=0, connected=True,
+                         w_min=0.1, w_max=10.0):
+    """Stochastic Kronecker (R-MAT) graph on ``b ** levels`` nodes.
+
+    Samples ``round((sum initiator) ** levels)`` directed cell hits by
+    R-MAT descent — each hit picks one initiator cell per level, biased
+    by the ``b x b`` *initiator* probabilities — then folds them to the
+    canonical undirected form, dropping self loops and duplicates.  The
+    realized edge count therefore lands just below
+    :func:`kronecker_expected_edges` (the losses are the dedup rate,
+    a few percent at the default sparsity), which is the statistical
+    acceptance check locking this family down.
+
+    Kronecker sampling leaves a few isolated or fringe nodes; with
+    ``connected=True`` (default) every non-giant component is bridged
+    into the largest one with a single extra edge, keeping the node
+    count exactly ``b ** levels``.  With ``connected=False`` the raw
+    sample is returned and callers get the documented
+    largest-component behavior: work on ``connected_components`` output
+    themselves.
+    """
+    matrix = np.asarray(initiator, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise GraphError("initiator must be a square matrix")
+    if np.any(matrix <= 0) or np.any(matrix > 1):
+        raise GraphError("initiator entries must be probabilities in (0, 1]")
+    if levels < 1:
+        raise GraphError("stochastic_kronecker needs levels >= 1")
+    b = matrix.shape[0]
+    n = b ** levels
+    rng = as_rng(seed)
+    count = int(round(kronecker_expected_edges(matrix, levels)))
+    probs = (matrix / matrix.sum()).ravel()
+    cells = rng.choice(b * b, size=(count, levels), p=probs)
+    rows, cols = cells // b, cells % b
+    place = b ** np.arange(levels - 1, -1, -1, dtype=np.int64)
+    u = rows @ place
+    v = cols @ place
+    return _assemble(n, u, v, rng, weights, w_min, w_max,
+                     connected=connected)
+
+
+def configuration_model(n, degrees=None, mean_degree=4.0,
+                        weights="uniform", seed=0, connected=True,
+                        w_min=0.1, w_max=10.0):
+    """Erased configuration model with a Poisson default degree law.
+
+    Either pass an explicit *degrees* sequence or let the generator
+    draw ``Poisson(mean_degree)`` degrees — the memoryless baseline the
+    Barabási–Albert tail test compares against.  Stubs are paired by a
+    seeded permutation; self loops and duplicate pairings are erased
+    (the standard "erased configuration model"), so realized degrees
+    can sit slightly below the drawn sequence.
+
+    With ``connected=True`` (default) each non-giant component is
+    bridged into the largest with one extra edge — node count stays
+    exactly *n*, at the cost of one extra degree per bridged component.
+    With ``connected=False`` the raw erased pairing is returned
+    (documented largest-component behavior, as for
+    :func:`stochastic_kronecker`).
+    """
+    if n < 2:
+        raise GraphError("configuration_model needs n >= 2")
+    rng = as_rng(seed)
+    if degrees is None:
+        if mean_degree <= 0:
+            raise GraphError("mean_degree must be positive")
+        degrees = rng.poisson(mean_degree, size=n)
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.shape != (n,):
+        raise GraphError(f"degrees must have shape ({n},)")
+    if np.any(degrees < 0):
+        raise GraphError("degrees must be nonnegative")
+    if degrees.sum() % 2:
+        degrees = degrees.copy()
+        degrees[int(np.argmax(degrees))] += 1  # make the stub count even
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    stubs = rng.permutation(stubs)
+    u, v = stubs[0::2], stubs[1::2]
+    return _assemble(n, u, v, rng, weights, w_min, w_max,
+                     connected=connected)
+
+
+def planted_labels(n_users, n_items, groups):
+    """Ground-truth block labels for :func:`bipartite_recommender`.
+
+    Users and items are assigned to *groups* blocks round-robin by
+    index (user ``i`` and item ``j`` belong to blocks ``i % groups``
+    and ``j % groups``), so the planted partition is recoverable
+    without the graph in hand.  Returns one label per node in the
+    bipartite graph's node order (users first, then items).
+    """
+    if groups < 1:
+        raise GraphError("planted_labels needs groups >= 1")
+    users = np.arange(n_users, dtype=np.int64) % groups
+    items = np.arange(n_items, dtype=np.int64) % groups
+    return np.concatenate([users, items])
+
+
+def bipartite_recommender(n_users, n_items, groups=4, p_in=0.25,
+                          p_out=0.01, weights="uniform", seed=0,
+                          connected=True, w_min=0.1, w_max=10.0):
+    """Bipartite recommendation graph with a planted block partition.
+
+    Users occupy node ids ``[0, n_users)`` and items
+    ``[n_users, n_users + n_items)``; both sides are split into
+    *groups* taste blocks (:func:`planted_labels`).  A user–item edge
+    appears with probability *p_in* when the two share a block and
+    *p_out* otherwise, mimicking a ratings matrix with planted
+    communities — the downstream target for the spectral-clustering
+    application benchmark, where quality is ARI against the planted
+    labels.
+
+    ``connected=True`` (default) bridges stray components into the
+    giant one (keeping the node count exact); the bridge edges are the
+    only possible user–user or item–item edges in the graph.
+    """
+    if n_users < 1 or n_items < 1:
+        raise GraphError("bipartite_recommender needs users and items")
+    if groups < 1 or groups > min(n_users, n_items):
+        raise GraphError("groups must be in [1, min(n_users, n_items)]")
+    if not (0.0 < p_in <= 1.0 and 0.0 <= p_out <= 1.0):
+        raise GraphError("need 0 < p_in <= 1 and 0 <= p_out <= 1")
+    rng = as_rng(seed)
+    labels = planted_labels(n_users, n_items, groups)
+    user_blocks = labels[:n_users]
+    item_blocks = labels[n_users:]
+    prob = np.where(
+        user_blocks[:, None] == item_blocks[None, :], p_in, p_out
+    )
+    hits = rng.random((n_users, n_items)) < prob
+    u, v = np.nonzero(hits)
+    return _assemble(n_users + n_items, u, v + n_users, rng, weights,
+                     w_min, w_max, connected=connected)
+
+
+# ----------------------------------------------------------------------
+# the generator registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """One workload family published through :data:`GENERATOR_REGISTRY`.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"ba"``, ``"smallworld"``, ...).
+    kind:
+        Topology class for reporting: ``"lattice"``, ``"mesh"``,
+        ``"geometric"``, ``"circuit"``, ``"powerlaw"``,
+        ``"smallworld"``, ``"rmat"``, ``"random"`` or ``"bipartite"``.
+    builder:
+        ``builder(n, seed=0, weights=..., **options) -> Graph`` — the
+        size-normalized entry point :func:`make_family_graph` calls.
+    node_contract:
+        How the requested ``n`` maps to the realized node count
+        (``"exact"`` or a one-line rounding rule).
+    connectivity:
+        The family's documented connectivity contract.
+    description:
+        One line for listings and the generated API reference.
+    defaults:
+        The family-specific options *builder* accepts beyond
+        ``n``/``seed``/``weights``, with their default values — the
+        validation whitelist for :func:`make_family_graph` overrides.
+    """
+
+    name: str
+    kind: str
+    builder: typing.Callable = field(repr=False)
+    node_contract: str = "exact"
+    connectivity: str = "always connected"
+    description: str = ""
+    defaults: dict = field(default_factory=dict)
+
+
+def _family_grid2d(n, seed=0, weights="uniform", diagonals=False):
+    side = max(2, int(round(np.sqrt(n))))
+    return grid2d(side, side, weights=weights, diagonals=diagonals,
+                  seed=seed)
+
+
+def _family_grid3d(n, seed=0, weights="uniform"):
+    side = max(2, int(round(n ** (1.0 / 3.0))))
+    return grid3d(side, side, side, weights=weights, seed=seed)
+
+
+def _family_mesh(n, seed=0, weights="smooth", shape="square"):
+    return triangular_mesh(max(n, 4), shape=shape, weights=weights,
+                           seed=seed)
+
+
+def _family_geometric(n, seed=0, weights="uniform", radius=None):
+    return random_geometric_graph(max(n, 2), radius=radius,
+                                  weights=weights, seed=seed)
+
+
+def _family_circuit(n, seed=0, weights="uniform", layers=2,
+                    via_density=0.05):
+    side = max(2, int(round(np.sqrt(n / max(layers, 1)))))
+    return circuit_grid(side, side, layers=layers,
+                        via_density=via_density, weights=weights,
+                        seed=seed)
+
+
+def _family_ba(n, seed=0, weights="uniform", attach=4):
+    return barabasi_albert(max(n, 2), attach=attach, weights=weights,
+                           seed=seed)
+
+
+def _family_smallworld(n, seed=0, weights="uniform", k=6, p=0.1):
+    return watts_strogatz(max(n, 3), k=k, p=p, weights=weights, seed=seed)
+
+
+def _family_kronecker(n, seed=0, weights="uniform",
+                      initiator=_KRONECKER_INITIATOR, connected=True):
+    levels = max(1, math.ceil(math.log2(max(n, 2))))
+    return stochastic_kronecker(levels, initiator=initiator,
+                                weights=weights, seed=seed,
+                                connected=connected)
+
+
+def _family_configmodel(n, seed=0, weights="uniform", mean_degree=4.0,
+                        connected=True):
+    return configuration_model(max(n, 2), mean_degree=mean_degree,
+                               weights=weights, seed=seed,
+                               connected=connected)
+
+
+def _family_bipartite(n, seed=0, weights="uniform", groups=4,
+                      p_in=0.25, p_out=0.01, connected=True):
+    n = max(n, 2 * groups)
+    n_users = n // 2
+    return bipartite_recommender(n_users, n - n_users, groups=groups,
+                                 p_in=p_in, p_out=p_out, weights=weights,
+                                 seed=seed, connected=connected)
+
+
+#: Every workload family, keyed by registry name.  The benchmarks, the
+#: generated API reference and the family sweeps all enumerate this.
+GENERATOR_REGISTRY = {
+    spec.name: spec
+    for spec in (
+        GeneratorSpec(
+            "grid2d", "lattice", _family_grid2d,
+            node_contract="rounded to the nearest square",
+            description="2-D finite-difference lattice "
+                        "(ecology2/tmt_sym class)",
+            defaults={"diagonals": False},
+        ),
+        GeneratorSpec(
+            "grid3d", "lattice", _family_grid3d,
+            node_contract="rounded to the nearest cube",
+            description="3-D 7-point lattice",
+        ),
+        GeneratorSpec(
+            "mesh", "mesh", _family_mesh,
+            description="Delaunay triangulation of a 2-D point cloud "
+                        "(thermal2/NACA0015 class)",
+            defaults={"shape": "square"},
+        ),
+        GeneratorSpec(
+            "geometric", "geometric", _family_geometric,
+            connectivity="connected w.h.p. at the default radius",
+            description="random geometric graph on the unit square",
+            defaults={"radius": None},
+        ),
+        GeneratorSpec(
+            "circuit", "circuit", _family_circuit,
+            node_contract="rounded to layers x square",
+            description="multi-layer circuit grid with vias "
+                        "(G3_circuit class)",
+            defaults={"layers": 2, "via_density": 0.05},
+        ),
+        GeneratorSpec(
+            "ba", "powerlaw", _family_ba,
+            description="Barabasi-Albert preferential attachment "
+                        "(scale-free, heavy degree tail)",
+            defaults={"attach": 4},
+        ),
+        GeneratorSpec(
+            "smallworld", "smallworld", _family_smallworld,
+            description="Watts-Strogatz ring with rewiring "
+                        "(high clustering, short paths)",
+            defaults={"k": 6, "p": 0.1},
+        ),
+        GeneratorSpec(
+            "kronecker", "rmat", _family_kronecker,
+            node_contract="rounded up to the next power of two",
+            connectivity="connected=True bridges components (default); "
+                         "else largest-component behavior",
+            description="stochastic Kronecker / R-MAT "
+                        "(self-similar communities)",
+            defaults={"initiator": _KRONECKER_INITIATOR,
+                      "connected": True},
+        ),
+        GeneratorSpec(
+            "configmodel", "random", _family_configmodel,
+            connectivity="connected=True bridges components (default); "
+                         "else largest-component behavior",
+            description="erased configuration model, Poisson degrees "
+                        "(memoryless baseline)",
+            defaults={"mean_degree": 4.0, "connected": True},
+        ),
+        GeneratorSpec(
+            "bipartite", "bipartite", _family_bipartite,
+            connectivity="connected=True bridges components (default); "
+                         "else largest-component behavior",
+            description="bipartite recommendation graph with planted "
+                        "taste blocks",
+            defaults={"groups": 4, "p_in": 0.25, "p_out": 0.01,
+                      "connected": True},
+        ),
+    )
+}
+
+
+def list_families():
+    """Sorted names of every registered workload family."""
+    return tuple(sorted(GENERATOR_REGISTRY))
+
+
+def make_family_graph(family, n, seed=0, weights="uniform", **options):
+    """Build an ``n``-node graph from the named workload family.
+
+    The size-normalized front door over :data:`GENERATOR_REGISTRY`:
+    every family takes a target node count *n* (see each spec's
+    ``node_contract`` for how it is rounded), a *seed* and a *weights*
+    model, plus the family-specific *options* whitelisted in the
+    spec's ``defaults``.  Unknown families and unknown options raise
+    :class:`~repro.exceptions.GraphError` naming the valid choices.
+    """
+    if family not in GENERATOR_REGISTRY:
+        raise GraphError(
+            f"unknown workload family {family!r}; registered families: "
+            f"{', '.join(list_families())}"
+        )
+    spec = GENERATOR_REGISTRY[family]
+    unknown = sorted(set(options) - set(spec.defaults))
+    if unknown:
+        raise GraphError(
+            f"family {family!r} does not accept option(s) "
+            f"{', '.join(map(repr, unknown))}; valid options: "
+            f"{', '.join(sorted(spec.defaults)) or '(none)'}"
+        )
+    if n < 1:
+        raise GraphError("make_family_graph needs n >= 1")
+    merged = dict(spec.defaults)
+    merged.update(options)
+    return spec.builder(int(n), seed=seed, weights=weights, **merged)

@@ -7,6 +7,13 @@ DESIGN.md, substitution 1).  Sizes default to a laptop-friendly scale
 and grow with the ``REPRO_SCALE`` environment variable or an explicit
 ``scale`` argument.
 
+Beyond the Table-1 stand-ins, the registry also names one case per
+non-geometric workload family (``ba_social``, ``smallworld``,
+``kron_rmat``, ``configmodel``, ``bipartite_rec``) built through
+:data:`~repro.graph.generators.GENERATOR_REGISTRY`, so the CLI,
+``repro sweep`` and the service's registered-case graph source can
+sweep graph *families*, not just the paper's fixed cases.
+
 >>> graph, spec = make_case("ecology2")
 >>> graph.n > 0
 True
@@ -22,10 +29,17 @@ import zlib
 import numpy as np
 
 from repro.exceptions import GraphError
-from repro.graph.generators import circuit_grid, grid2d, triangular_mesh
+from repro.graph.generators import (
+    circuit_grid,
+    grid2d,
+    make_family_graph,
+    triangular_mesh,
+)
 from repro.graph.graph import Graph
 
-__all__ = ["CaseSpec", "CASE_REGISTRY", "make_case", "scaled_size"]
+__all__ = [
+    "CaseSpec", "CASE_REGISTRY", "FAMILY_CASES", "make_case", "scaled_size",
+]
 
 
 @dataclass(frozen=True)
@@ -33,9 +47,9 @@ class CaseSpec:
     """Metadata for one named test case."""
 
     name: str
-    family: str          # "grid" | "mesh" | "circuit"
-    paper_nodes: float   # |V| in the paper (for reporting)
-    paper_edges: float   # |E| in the paper
+    family: str          # a GENERATOR_REGISTRY kind or "grid"/"mesh"/"circuit"
+    paper_nodes: float   # |V| in the paper (0 for non-paper workload cases)
+    paper_edges: float   # |E| in the paper (0 for non-paper workload cases)
     base_nodes: int      # default reproduction size at scale 1.0
     detail: str          # how the stand-in is built
 
@@ -81,6 +95,39 @@ CASE_REGISTRY = {
         "NLR", "mesh", 4.2e6, 1.2e7, 16000,
         "Delaunay mesh on a square, smooth weights",
     ),
+    # Workload-family cases (not in the paper's Table 1): one named
+    # entry per non-geometric GENERATOR_REGISTRY family, so every front
+    # door that speaks case names can sweep these topology classes too.
+    "ba_social": CaseSpec(
+        "ba_social", "powerlaw", 0.0, 0.0, 8000,
+        "Barabasi-Albert preferential attachment, attach=4",
+    ),
+    "smallworld": CaseSpec(
+        "smallworld", "smallworld", 0.0, 0.0, 8000,
+        "Watts-Strogatz ring, k=6, rewiring p=0.1",
+    ),
+    "kron_rmat": CaseSpec(
+        "kron_rmat", "rmat", 0.0, 0.0, 8192,
+        "stochastic Kronecker (R-MAT), bridged connected",
+    ),
+    "configmodel": CaseSpec(
+        "configmodel", "random", 0.0, 0.0, 8000,
+        "erased configuration model, Poisson mean degree 4",
+    ),
+    "bipartite_rec": CaseSpec(
+        "bipartite_rec", "bipartite", 0.0, 0.0, 6000,
+        "bipartite recommender, 4 planted taste blocks",
+    ),
+}
+
+#: Case names built through the workload-family registry (vs the
+#: paper's Table-1 stand-ins), mapped to their family key.
+FAMILY_CASES = {
+    "ba_social": "ba",
+    "smallworld": "smallworld",
+    "kron_rmat": "kronecker",
+    "configmodel": "configmodel",
+    "bipartite_rec": "bipartite",
 }
 
 
@@ -130,6 +177,8 @@ def make_case(name: str, scale=None, seed: int = 0):
         graph = triangular_mesh(n, shape="disk", weights="uniform", seed=seed)
     elif name == "NLR":
         graph = triangular_mesh(n, shape="square", weights="smooth", seed=seed)
+    elif name in FAMILY_CASES:
+        graph = make_family_graph(FAMILY_CASES[name], n, seed=seed)
     else:  # pragma: no cover - registry and dispatch kept in sync
         raise GraphError(f"no builder wired for {name!r}")
     assert isinstance(graph, Graph)

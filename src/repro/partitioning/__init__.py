@@ -1,4 +1,4 @@
-"""Spectral graph partitioning substrate (paper Sec. 4.3)."""
+"""Spectral graph partitioning and clustering substrate (paper Sec. 4.3)."""
 
 from repro.partitioning.fiedler import FiedlerResult, fiedler_vector
 from repro.partitioning.precondition import build_partition_preconditioner
@@ -6,6 +6,15 @@ from repro.partitioning.spectral import (
     spectral_bipartition,
     partition_relative_error,
     cut_weight,
+)
+from repro.partitioning.clustering import (
+    EmbeddingResult,
+    ClusteringResult,
+    spectral_embedding,
+    kmeans,
+    spectral_clustering,
+    cluster_conductances,
+    adjusted_rand_index,
 )
 
 __all__ = [
@@ -15,4 +24,11 @@ __all__ = [
     "spectral_bipartition",
     "partition_relative_error",
     "cut_weight",
+    "EmbeddingResult",
+    "ClusteringResult",
+    "spectral_embedding",
+    "kmeans",
+    "spectral_clustering",
+    "cluster_conductances",
+    "adjusted_rand_index",
 ]

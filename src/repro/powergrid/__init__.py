@@ -7,7 +7,12 @@ analysis, and backward-Euler transient simulation with either a direct
 
 from repro.powergrid.waveforms import PulsePattern, breakpoints_union
 from repro.powergrid.netlist import PowerGridNetlist, CurrentLoad
-from repro.powergrid.benchmarks import make_pg_case, PG_CASE_REGISTRY, PGCaseSpec
+from repro.powergrid.benchmarks import (
+    make_pg_case,
+    netlist_from_graph,
+    PG_CASE_REGISTRY,
+    PGCaseSpec,
+)
 from repro.powergrid.mna import conductance_matrix, capacitance_vector
 from repro.powergrid.dc import dc_solve
 from repro.powergrid.transient import (
@@ -23,6 +28,7 @@ __all__ = [
     "PowerGridNetlist",
     "CurrentLoad",
     "make_pg_case",
+    "netlist_from_graph",
     "PG_CASE_REGISTRY",
     "PGCaseSpec",
     "conductance_matrix",

@@ -30,7 +30,13 @@ from repro.powergrid.netlist import CurrentLoad, PowerGridNetlist
 from repro.powergrid.waveforms import PulsePattern
 from repro.utils.rng import as_rng
 
-__all__ = ["PGCaseSpec", "PG_CASE_REGISTRY", "make_pg_case", "build_pg_plane"]
+__all__ = [
+    "PGCaseSpec",
+    "PG_CASE_REGISTRY",
+    "make_pg_case",
+    "build_pg_plane",
+    "netlist_from_graph",
+]
 
 _PS = 1e-12
 _PF = 1e-12
@@ -88,11 +94,22 @@ def build_pg_plane(
 
     rail = np.full(n, rail_voltage)
 
-    # Loads share a handful of waveform templates (clock domains): cells
-    # switch in synchronized groups, so the breakpoint union stays small
-    # and variable-step integration can actually take large steps — the
-    # regime the paper's iterative solver exploits.  All corners snap to
-    # the 10 ps grid so a fixed h = 10 ps hits every breakpoint.
+    loads = _pulse_loads(n, rng, load_density=load_density,
+                         load_sign=load_sign,
+                         waveform_groups=waveform_groups)
+    return graph, capacitance, pad_g, rail, loads
+
+
+def _pulse_loads(n, rng, load_density=0.05, load_sign=-1.0,
+                 waveform_groups=4):
+    """Pulse current loads on a random node subset, 10 ps-snapped.
+
+    Loads share a handful of waveform templates (clock domains): cells
+    switch in synchronized groups, so the breakpoint union stays small
+    and variable-step integration can actually take large steps — the
+    regime the paper's iterative solver exploits.  All corners snap to
+    the 10 ps grid so a fixed h = 10 ps hits every breakpoint.
+    """
     templates = []
     for _ in range(waveform_groups):
         rise = 10 * _PS * int(rng.integers(2, 11))       # 20-100 ps
@@ -119,7 +136,52 @@ def build_pg_plane(
             period=period,
         )
         loads.append(CurrentLoad(int(node), pattern, sign=load_sign))
-    return graph, capacitance, pad_g, rail, loads
+    return loads
+
+
+def netlist_from_graph(
+    graph: Graph,
+    seed: int = 0,
+    rail_voltage: float = 1.8,
+    pad_fraction: float = 0.02,
+    load_density: float = 0.05,
+    waveform_groups: int = 4,
+    name: str = "graph-pg",
+) -> PowerGridNetlist:
+    """Dress an arbitrary connected graph as a power-delivery network.
+
+    The bridge the application-level transient benchmark uses to sweep
+    *workload families*: any :class:`~repro.graph.Graph` (a Kronecker
+    social graph as much as a regular plane) becomes a single-rail PG
+    netlist — edge weights rescaled into the 0.5–20 S wire-conductance
+    band, 1–10 pF node capacitances, Norton-modeled pads on a random
+    ``pad_fraction`` of nodes (at least one), and 10 ps-snapped pulse
+    loads on a random ``load_density`` of nodes, exactly the waveform
+    regime of :func:`build_pg_plane`.  Deterministic per seed.
+    """
+    rng = as_rng(seed)
+    n = graph.n
+    w = graph.w
+    span = max(w.max() - w.min(), 1e-30)
+    conductances = 0.5 + (w - w.min()) / span * 19.5
+    dressed = graph.reweighted(conductances)
+
+    capacitance = rng.uniform(1.0, 10.0, size=n) * _PF
+    pad_count = max(1, int(round(pad_fraction * n)))
+    pads = rng.choice(n, size=pad_count, replace=False)
+    pad_g = np.zeros(n)
+    pad_g[pads] = rng.uniform(50.0, 200.0, size=pad_count)
+    rail = np.full(n, rail_voltage)
+    loads = _pulse_loads(n, rng, load_density=load_density,
+                         waveform_groups=waveform_groups)
+    return PowerGridNetlist(
+        graph=dressed,
+        capacitance=capacitance,
+        pad_conductance=pad_g,
+        rail_voltage=rail,
+        loads=loads,
+        name=name,
+    )
 
 
 def make_pg_case(name: str, scale=None, seed: int = 0):

@@ -1,0 +1,48 @@
+"""Downstream-quality regression over the new workload families.
+
+Every registered sparsifier method must *work* — not merely run — on
+every workload family the generator registry added beyond the
+paper-style meshes: scale-free (ba), small-world, R-MAT (kronecker),
+Poisson random (configmodel) and planted-block bipartite graphs.
+"Work" is pinned the downstream way: relative condition number and PCG
+iteration count within per-family bounds (measured values enjoy ~3x /
+~2x headroom, so only a genuine quality regression trips them), and
+PCG must converge.  Sizes are small; this is a tier-1 gate, not a
+benchmark.
+"""
+
+import pytest
+
+from repro.api import list_methods, sparsify
+from repro.core.metrics import evaluate_sparsifier
+from repro.graph import make_family_graph
+
+#: family -> (kappa bound, PCG-iteration bound) at n=400, fraction 0.15.
+FAMILY_BOUNDS = {
+    "ba": (400.0, 60),
+    "smallworld": (250.0, 50),
+    "kronecker": (100.0, 40),
+    "configmodel": (150.0, 45),
+    "bipartite": (900.0, 80),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_BOUNDS))
+@pytest.mark.parametrize("method", list_methods())
+def test_every_method_handles_every_new_family(family, method):
+    graph = make_family_graph(family, 400, seed=0)
+    result = sparsify(graph, method=method, edge_fraction=0.15, seed=1)
+    quality = evaluate_sparsifier(graph, result.sparsifier, seed=2)
+    kappa_bound, iteration_bound = FAMILY_BOUNDS[family]
+    assert quality.pcg_converged, (
+        f"{method} on {family}: PCG failed to converge"
+    )
+    assert quality.kappa <= kappa_bound, (
+        f"{method} on {family}: kappa {quality.kappa:.1f} "
+        f"exceeds the {kappa_bound:.0f} regression bound"
+    )
+    assert quality.pcg_iterations <= iteration_bound, (
+        f"{method} on {family}: {quality.pcg_iterations} PCG iterations "
+        f"exceed the {iteration_bound} regression bound"
+    )
+    assert result.sparsifier.n == graph.n

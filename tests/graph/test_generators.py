@@ -2,16 +2,28 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import GraphError
 from repro.graph import (
+    GENERATOR_REGISTRY,
+    barabasi_albert,
+    bipartite_recommender,
     circuit_grid,
+    configuration_model,
     connected_components,
     grid2d,
     grid3d,
     is_connected,
+    kronecker_expected_edges,
+    list_families,
+    make_family_graph,
+    planted_labels,
     random_geometric_graph,
+    stochastic_kronecker,
     triangular_mesh,
+    watts_strogatz,
 )
 from repro.graph.generators import edge_weights
 
@@ -141,3 +153,270 @@ class TestEdgeWeights:
         rng = np.random.default_rng(0)
         with pytest.raises(GraphError):
             edge_weights("nope", np.zeros((3, 2)), rng)
+
+
+# ----------------------------------------------------------------------
+# workload-family property suite (hypothesis, registry-driven)
+# ----------------------------------------------------------------------
+
+class TestFamilyContract:
+    """Seed/weights contract for EVERY registered workload family."""
+
+    @pytest.mark.parametrize("family", list_families())
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=6, deadline=None)
+    def test_canonical_edges_and_determinism(self, family, seed):
+        a = make_family_graph(family, 60, seed=seed)
+        b = make_family_graph(family, 60, seed=seed)
+        # Per-seed determinism: identical topology and weights.
+        np.testing.assert_array_equal(a.u, b.u)
+        np.testing.assert_array_equal(a.v, b.v)
+        np.testing.assert_allclose(a.w, b.w)
+        # Canonical form: u < v, no self loops, no duplicates.
+        assert np.all(a.u < a.v)
+        keys = a.u.astype(np.int64) * a.n + a.v
+        assert len(np.unique(keys)) == len(keys)
+        assert np.all(a.u >= 0) and np.all(a.v < a.n)
+
+    @pytest.mark.parametrize("family", list_families())
+    @pytest.mark.parametrize("weights", ["unit", "uniform", "smooth"])
+    def test_weight_models_finite_positive(self, family, weights):
+        g = make_family_graph(family, 80, seed=3, weights=weights)
+        assert np.all(np.isfinite(g.w))
+        assert np.all(g.w > 0)
+        # mesh rescales by edge length and circuit vias carry a fixed
+        # conductance, so literal all-ones only holds elsewhere.
+        if weights == "unit" and family not in ("mesh", "circuit"):
+            np.testing.assert_allclose(g.w, 1.0)
+
+    @pytest.mark.parametrize("family", list_families())
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=4, deadline=None)
+    def test_default_family_is_connected(self, family, seed):
+        # Every registry default must yield a usable Laplacian workload.
+        assert is_connected(make_family_graph(family, 64, seed=seed))
+
+    @pytest.mark.parametrize(
+        "family", ["mesh", "geometric", "ba", "smallworld", "configmodel",
+                   "bipartite"]
+    )
+    def test_exact_node_contract(self, family):
+        for n in (40, 97, 150):
+            assert make_family_graph(family, n, seed=1).n == n
+
+    def test_kronecker_node_contract_power_of_two(self):
+        assert make_family_graph("kronecker", 300, seed=0).n == 512
+        assert make_family_graph("kronecker", 512, seed=0).n == 512
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(GraphError, match="unknown workload family"):
+            make_family_graph("smallword", 64)
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(GraphError, match="does not accept"):
+            make_family_graph("ba", 64, radius=0.2)
+
+    def test_options_reach_the_builder(self):
+        plain = make_family_graph("grid2d", 36, seed=0)
+        diag = make_family_graph("grid2d", 36, seed=0, diagonals=True)
+        assert diag.edge_count > plain.edge_count
+
+    def test_registry_specs_are_complete(self):
+        for name, spec in GENERATOR_REGISTRY.items():
+            assert spec.name == name
+            assert spec.description
+            assert callable(spec.builder)
+
+
+class TestBarabasiAlbert:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_always_connected(self, seed):
+        assert is_connected(barabasi_albert(120, attach=3, seed=seed))
+
+    def test_edge_count_matches_attachment(self):
+        n, attach = 200, 4
+        g = barabasi_albert(n, attach=attach)
+        core = attach + 1
+        assert g.edge_count == core * (core - 1) // 2 + (n - core) * attach
+
+    def test_degenerates_to_complete_graph(self):
+        g = barabasi_albert(4, attach=8)
+        assert g.edge_count == 6
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(1)
+        with pytest.raises(GraphError):
+            barabasi_albert(10, attach=0)
+
+
+class TestWattsStrogatz:
+    @given(seed=st.integers(0, 500),
+           p=st.sampled_from([0.0, 0.1, 0.5, 1.0]))
+    @settings(max_examples=15, deadline=None)
+    def test_always_connected_for_any_p(self, seed, p):
+        # The offset-1 ring backbone is never rewired: connectivity is a
+        # contract, not a probability.
+        assert is_connected(watts_strogatz(90, k=4, p=p, seed=seed))
+
+    def test_no_rewiring_is_the_ring_lattice(self):
+        g = watts_strogatz(50, k=6, p=0.0, seed=3)
+        assert g.edge_count == 50 * 3
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, k=3)          # odd k
+        with pytest.raises(GraphError):
+            watts_strogatz(4, k=4)           # k >= n
+        with pytest.raises(GraphError):
+            watts_strogatz(10, k=4, p=1.5)   # p outside [0, 1]
+
+
+class TestStochasticKronecker:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_connected_knob(self, seed):
+        g = stochastic_kronecker(8, seed=seed, connected=True)
+        assert g.n == 256
+        assert is_connected(g)
+        raw = stochastic_kronecker(8, seed=seed, connected=False)
+        assert raw.n == 256  # node count stays exact either way
+
+    def test_rejects_bad_initiator(self):
+        with pytest.raises(GraphError):
+            stochastic_kronecker(4, initiator=((0.5, 0.5, 0.5),))
+        with pytest.raises(GraphError):
+            stochastic_kronecker(4, initiator=((1.5, 0.2), (0.2, 0.1)))
+        with pytest.raises(GraphError):
+            stochastic_kronecker(0)
+
+
+class TestConfigurationModel:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_connected_knob(self, seed):
+        g = configuration_model(150, seed=seed, connected=True)
+        assert g.n == 150
+        assert is_connected(g)
+        raw = configuration_model(150, seed=seed, connected=False)
+        assert raw.n == 150
+
+    def test_explicit_degree_sequence(self):
+        degrees = np.full(40, 3)
+        g = configuration_model(40, degrees=degrees, connected=False)
+        realized = np.zeros(40, dtype=int)
+        np.add.at(realized, g.u, 1)
+        np.add.at(realized, g.v, 1)
+        # Erasure only removes stubs; realized degrees never exceed the
+        # drawn sequence (+1 on one node if the stub sum was odd).
+        assert realized.max() <= 4
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            configuration_model(10, degrees=np.full(3, 2))
+        with pytest.raises(GraphError):
+            configuration_model(10, degrees=np.array([-1] + [2] * 9))
+        with pytest.raises(GraphError):
+            configuration_model(10, mean_degree=0.0)
+
+
+class TestBipartiteRecommender:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_bipartite_except_bridges(self, seed):
+        n_users = 60
+        g = bipartite_recommender(n_users, 80, groups=4, seed=seed)
+        assert g.n == 140
+        assert is_connected(g)
+        # Only bridge edges may violate bipartiteness; the random block
+        # model itself only emits user-item pairs.
+        same_side = (g.u < n_users) == (g.v < n_users)
+        assert same_side.sum() <= 4  # at most one bridge per stray part
+
+    def test_planted_labels_round_robin(self):
+        labels = planted_labels(5, 4, groups=3)
+        np.testing.assert_array_equal(labels, [0, 1, 2, 0, 1, 0, 1, 2, 0])
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            bipartite_recommender(0, 10)
+        with pytest.raises(GraphError):
+            bipartite_recommender(10, 10, groups=20)
+        with pytest.raises(GraphError):
+            bipartite_recommender(10, 10, p_in=0.0)
+
+
+# ----------------------------------------------------------------------
+# statistical acceptance: each family is what it claims to be
+# ----------------------------------------------------------------------
+
+def _degree_sequence(g):
+    degrees = np.zeros(g.n, dtype=np.int64)
+    np.add.at(degrees, g.u, 1)
+    np.add.at(degrees, g.v, 1)
+    return degrees
+
+
+def _clustering_coefficient(g):
+    """Mean local clustering coefficient (nodes with degree >= 2)."""
+    adjacency = [set() for _ in range(g.n)]
+    for a, b in zip(g.u, g.v):
+        adjacency[a].add(int(b))
+        adjacency[b].add(int(a))
+    total, counted = 0.0, 0
+    for node in range(g.n):
+        neighbors = list(adjacency[node])
+        k = len(neighbors)
+        if k < 2:
+            continue
+        links = sum(
+            1
+            for i in range(k)
+            for j in range(i + 1, k)
+            if neighbors[j] in adjacency[neighbors[i]]
+        )
+        total += 2.0 * links / (k * (k - 1))
+        counted += 1
+    return total / max(counted, 1)
+
+
+class TestStatisticalAcceptance:
+    """Seeded distribution checks — deterministic, no flaky tolerances."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_ba_tail_heavier_than_poisson_baseline(self, seed):
+        # Same size, same mean degree (2 * attach): the BA maximum and
+        # 99.5th-percentile degree must dwarf the memoryless baseline.
+        n, attach = 2000, 4
+        ba = _degree_sequence(barabasi_albert(n, attach=attach, seed=seed))
+        poisson = _degree_sequence(
+            configuration_model(n, mean_degree=2.0 * attach, seed=seed,
+                                connected=False)
+        )
+        assert ba.max() >= 3 * poisson.max()
+        assert np.percentile(ba, 99.5) >= 2 * np.percentile(poisson, 99.5)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_ws_clustering_decays_with_rewiring(self, seed):
+        coefficients = [
+            _clustering_coefficient(
+                watts_strogatz(600, k=6, p=p, seed=seed)
+            )
+            for p in (0.0, 0.1, 1.0)
+        ]
+        # Monotone decay from the lattice value toward the random-graph
+        # value; the lattice itself has C = 3(k-2)/(4(k-1)) = 0.6.
+        assert coefficients[0] == pytest.approx(0.6, abs=1e-9)
+        assert coefficients[0] > coefficients[1] > coefficients[2]
+        assert coefficients[2] < 0.05
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("levels", [9, 10])
+    def test_kronecker_edge_count_tracks_initiator(self, seed, levels):
+        # connected=False: the raw sample, whose realized simple edge
+        # count sits below the initiator expectation by only the
+        # self-loop/duplicate losses (a few percent).
+        g = stochastic_kronecker(levels, seed=seed, connected=False)
+        expected = kronecker_expected_edges(levels=levels)
+        assert 0.93 * expected <= g.edge_count <= expected

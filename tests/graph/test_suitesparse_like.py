@@ -9,11 +9,15 @@ from repro.graph.suitesparse_like import scaled_size
 
 
 def test_registry_has_all_paper_cases():
-    expected = {
+    paper_cases = {
         "ecology2", "thermal2", "parabolic", "tmt_sym", "G3_circuit",
         "NACA0015", "M6", "333SP", "AS365", "NLR",
     }
-    assert set(CASE_REGISTRY) == expected
+    family_cases = {
+        "ba_social", "smallworld", "kron_rmat", "configmodel",
+        "bipartite_rec",
+    }
+    assert set(CASE_REGISTRY) == paper_cases | family_cases
 
 
 @pytest.mark.parametrize("name", sorted(CASE_REGISTRY))

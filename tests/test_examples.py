@@ -1,0 +1,52 @@
+"""Example-script contracts that ``make docs-check`` relies on.
+
+The docs checker executes every ``examples/*.py`` from the repository
+root; nothing there protects against an example scattering artifacts
+relative to whatever directory a *reader* launches it from.  These
+tests pin the fixed contract: artifacts resolve next to the example
+file, never into the caller's working directory.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLE = REPO_ROOT / "examples" / "power_grid_transient.py"
+
+
+def _run_example(cwd, *args):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return subprocess.run(
+        [sys.executable, str(EXAMPLE), "--scale", "0.1",
+         "--t-end", "5e-10", *args],
+        cwd=cwd, env=env, text=True, capture_output=True, timeout=300,
+    )
+
+
+def test_waveform_csv_lands_next_to_the_example(tmp_path):
+    # Launch from a foreign cwd: the artifact must still land in
+    # examples/, not in the caller's directory (the old behavior).
+    default_out = EXAMPLE.parent / "pg_waveforms.csv"
+    if default_out.exists():
+        default_out.unlink()  # regenerated artifact, gitignored
+    proc = _run_example(tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert default_out.exists()
+    assert not (tmp_path / "pg_waveforms.csv").exists()
+    header = default_out.read_text().splitlines()[0]
+    assert header.split(",") == [
+        "time_s", "vdd_direct", "vdd_iterative", "gnd_direct",
+        "gnd_iterative",
+    ]
+
+
+def test_explicit_out_path_is_honored(tmp_path):
+    target = tmp_path / "wave.csv"
+    proc = _run_example(tmp_path, "--out", str(target))
+    assert proc.returncode == 0, proc.stderr
+    assert target.exists()

@@ -2,8 +2,9 @@
 """Docstring-coverage lint for the public API surface.
 
 Walks the published surface — everything ``repro.api``,
-``repro.backends``, ``repro.core.sharding``, ``repro.incremental``,
-``repro.kernels`` and ``repro.service`` export, ``repro.sparsify``,
+``repro.backends``, ``repro.core.sharding``,
+``repro.graph.generators``, ``repro.incremental``, ``repro.kernels``,
+``repro.partitioning`` and ``repro.service`` export, ``repro.sparsify``,
 and every config class the method registry exposes — and fails when any public object (module, class,
 function, method or property) lacks a docstring.
 ``make docs-check`` runs this, so an undocumented addition to the
@@ -62,8 +63,10 @@ def public_surface():
     import repro.api
     import repro.backends
     import repro.core.sharding
+    import repro.graph.generators
     import repro.incremental
     import repro.kernels
+    import repro.partitioning
     import repro.service
     from repro.api.registry import get_method, list_methods
 
@@ -73,7 +76,8 @@ def public_surface():
         if not inspect.ismodule(obj):
             surface.append((f"repro.{name}", obj))
     for module in (repro.api, repro.backends, repro.core.sharding,
-                   repro.incremental, repro.kernels, repro.service):
+                   repro.graph.generators, repro.incremental,
+                   repro.kernels, repro.partitioning, repro.service):
         surface.append((module.__name__, module))
         for name in module.__all__:
             surface.append((f"{module.__name__}.{name}",
